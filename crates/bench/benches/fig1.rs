@@ -1,0 +1,35 @@
+//! Regenerates Fig. 1(a) (BFA vs random flips) and Fig. 1(b) (TRH per
+//! DRAM generation), then benchmarks one progressive-bit-search step.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dlk_attacks::bfa::{BfaConfig, BitSearch};
+use dlk_bench::print_once;
+use dlk_dnn::models;
+use dlk_xlayer::experiments::{fig1a, fig1b, Fidelity};
+
+static ARTIFACT: Once = Once::new();
+
+fn bench_fig1(c: &mut Criterion) {
+    print_once(&ARTIFACT, || {
+        let mut out = fig1b::run().to_string();
+        out.push('\n');
+        out.push_str(&fig1a::run(Fidelity::Full).render());
+        out
+    });
+
+    let victim = models::victim_tiny(1);
+    let (x, y) = victim.dataset.test_sample(32, 0);
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("bfa_next_flip", |b| {
+        let mut search = BitSearch::new(BfaConfig::default());
+        b.iter(|| search.next_flip(&victim.model, &x, &y))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

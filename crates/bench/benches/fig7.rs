@@ -1,0 +1,53 @@
+//! Regenerates Fig. 7(a) (latency per Tref vs #BFA) and Fig. 7(b)
+//! (defense time per threshold), then benchmarks the underlying SWAP
+//! primitive against the channel-copy baseline it replaces.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dlk_bench::print_once;
+use dlk_dram::{DramConfig, DramDevice, RowAddr};
+use dlk_xlayer::experiments::{fig7a, fig7b, Fidelity};
+
+static ARTIFACT: Once = Once::new();
+
+fn bench_fig7(c: &mut Criterion) {
+    print_once(&ARTIFACT, || {
+        let mut out = fig7a::run(Fidelity::Full).render();
+        out.push('\n');
+        out.push_str(&fig7b::run().to_string());
+        out
+    });
+
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(20);
+    group.bench_function("swap_three_copies", |b| {
+        let mut dram = DramDevice::new(DramConfig::tiny_for_tests());
+        let a = RowAddr::new(0, 0, 1);
+        let row_b = RowAddr::new(0, 0, 2);
+        let buffer = RowAddr::new(0, 0, 63);
+        b.iter(|| dram.swap_rows(a, row_b, buffer).expect("swap runs"))
+    });
+    group.bench_function("channel_copy_equivalent", |b| {
+        let mut dram = DramDevice::new(DramConfig::tiny_for_tests());
+        let src = RowAddr::new(0, 0, 1);
+        let dst = RowAddr::new(0, 0, 2);
+        b.iter(|| {
+            // What a swap costs without RowClone: read out and write
+            // back both rows over the channel.
+            let a = dram.read_row(src).expect("read");
+            let bb = dram.read_row(dst).expect("read");
+            for (i, chunk) in a.chunks(8).enumerate() {
+                dram.access_write(dst, i * 8, chunk).expect("write");
+            }
+            for (i, chunk) in bb.chunks(8).enumerate() {
+                dram.access_write(src, i * 8, chunk).expect("write");
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates the §IV-D process-variation sweep and benchmarks the
+//! Monte-Carlo trial kernel.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dlk_bench::print_once;
+use dlk_xlayer::circuit::{MonteCarlo, VariationConfig};
+use dlk_xlayer::experiments::{mc_variation, Fidelity};
+
+static ARTIFACT: Once = Once::new();
+
+fn bench_mc(c: &mut Criterion) {
+    print_once(&ARTIFACT, || mc_variation::run(Fidelity::Full).to_string());
+
+    let mc = MonteCarlo::new(VariationConfig::default());
+    let mut group = c.benchmark_group("mc_variation");
+    group.bench_function("mc_1000_trials_20pct", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            mc.run(0.20, 1_000, seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mc);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Micro-benchmarks of the substrate primitives: DRAM command issue,
+//! RowClone vs PSM copies, hammer tracking and the defense trackers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dlk_defenses::{CounterPerRow, Graphene, Hydra, RowTracker, Twice};
+use dlk_dram::{DramCommand, DramConfig, DramDevice, RowAddr, RowId};
+use dlk_memctrl::{MemCtrlConfig, MemRequest, MemoryController};
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram");
+    group.bench_function("act_pre_pair", |b| {
+        let mut dram = DramDevice::new(DramConfig::tiny_for_tests());
+        let row = RowAddr::new(0, 0, 5);
+        b.iter(|| {
+            dram.issue(DramCommand::Act(row)).expect("act");
+            dram.issue(DramCommand::Pre(0)).expect("pre")
+        })
+    });
+    group.bench_function("rowclone_fpm", |b| {
+        let mut dram = DramDevice::new(DramConfig::tiny_for_tests());
+        let src = RowAddr::new(0, 0, 1);
+        let dst = RowAddr::new(0, 0, 2);
+        b.iter(|| dram.row_clone(src, dst).expect("aap"))
+    });
+    group.bench_function("rowclone_psm", |b| {
+        let mut dram = DramDevice::new(DramConfig::tiny_for_tests());
+        let src = RowAddr::new(0, 0, 1);
+        let dst = RowAddr::new(1, 1, 2);
+        b.iter(|| dram.row_clone(src, dst).expect("psm"))
+    });
+    group.finish();
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller");
+    group.bench_function("serve_read_row_hit", |b| {
+        let mut ctrl = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+        ctrl.service(MemRequest::write(0, vec![1, 2, 3, 4])).expect("seed");
+        b.iter(|| ctrl.service(MemRequest::read(0, 4)).expect("read"))
+    });
+    group.finish();
+}
+
+fn bench_trackers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trackers");
+    group.bench_function("graphene_on_activate", |b| {
+        let mut tracker = Graphene::new(1024, 1_000_000);
+        let mut row = 0u64;
+        b.iter(|| {
+            row = (row + 1) % 4096;
+            tracker.on_activate(RowId(row))
+        })
+    });
+    group.bench_function("hydra_on_activate", |b| {
+        let mut tracker = Hydra::for_threshold(1_000_000);
+        let mut row = 0u64;
+        b.iter(|| {
+            row = (row + 1) % 4096;
+            tracker.on_activate(RowId(row))
+        })
+    });
+    group.bench_function("twice_on_activate", |b| {
+        let mut tracker = Twice::for_threshold(1_000_000);
+        let mut row = 0u64;
+        b.iter(|| {
+            row = (row + 1) % 4096;
+            tracker.on_activate(RowId(row))
+        })
+    });
+    group.bench_function("counter_per_row_on_activate", |b| {
+        let mut tracker = CounterPerRow::new(1_000_000);
+        let mut row = 0u64;
+        b.iter(|| {
+            row = (row + 1) % 4096;
+            tracker.on_activate(RowId(row))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dram, bench_controller, bench_trackers);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerates the §V PTA evaluation and benchmarks a page walk
+//! through the DRAM-resident page table.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dlk_bench::print_once;
+use dlk_dram::{DramConfig, DramDevice};
+use dlk_memctrl::{AddressMapper, MappingScheme, PageTable, PageTableConfig, VirtAddr};
+use dlk_xlayer::experiments::pta;
+
+static ARTIFACT: Once = Once::new();
+
+fn bench_pta(c: &mut Criterion) {
+    print_once(&ARTIFACT, || pta::run().expect("pta experiment runs").to_string());
+
+    let mut dram = DramDevice::new(DramConfig::tiny_for_tests());
+    let mapper = AddressMapper::new(*dram.geometry(), MappingScheme::BankSequential);
+    let table = PageTable::new(PageTableConfig::tiny_for_tests());
+    for vpn in 0..16 {
+        table.map(&mut dram, &mapper, vpn, vpn + 8).expect("map");
+    }
+    let mut group = c.benchmark_group("pta");
+    group.bench_function("page_walk", |b| {
+        let mut vpn = 0u64;
+        b.iter(|| {
+            vpn = (vpn + 1) % 16;
+            table.translate(&dram, &mapper, VirtAddr(vpn * 256 + 7)).expect("mapped")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pta);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates Table I (hardware overheads) and benchmarks the
+//! structure whose cost it is all about: the lock-table lookup.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dlk_bench::print_once;
+use dlk_dram::RowId;
+use dlk_locker::LockTable;
+use dlk_xlayer::experiments::table1;
+
+static ARTIFACT: Once = Once::new();
+
+fn bench_table1(c: &mut Criterion) {
+    print_once(&ARTIFACT, || table1::run().to_string());
+
+    let mut group = c.benchmark_group("table1");
+    // Fill the lock-table to the paper's 56 KB budget.
+    let capacity = 56 * 1024 / 8;
+    let mut table = LockTable::new(capacity);
+    table.extend((0..capacity as u64).map(RowId));
+    group.bench_function("lock_table_lookup_hit", |b| {
+        b.iter(|| table.is_locked(RowId(1234)))
+    });
+    group.bench_function("lock_table_lookup_miss", |b| {
+        b.iter(|| table.is_locked(RowId(u64::MAX)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

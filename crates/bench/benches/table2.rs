@@ -1,0 +1,31 @@
+//! Regenerates Table II (DRAM-Locker vs training-based defenses) and
+//! benchmarks the weight-reconstruction repair pass.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dlk_bench::print_once;
+use dlk_defenses::training::transforms::WeightReconstruction;
+use dlk_dnn::models;
+use dlk_xlayer::experiments::{table2, Fidelity};
+
+static ARTIFACT: Once = Once::new();
+
+fn bench_table2(c: &mut Criterion) {
+    print_once(&ARTIFACT, || table2::run(Fidelity::Full).to_string());
+
+    let victim = models::victim_tiny(2);
+    let envelope = WeightReconstruction::envelope(&victim.model);
+    let defense = WeightReconstruction::default();
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(20);
+    group.bench_function("weight_reconstruction_repair", |b| {
+        let mut model = victim.model.clone();
+        b.iter(|| defense.repair(&mut model, &envelope))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

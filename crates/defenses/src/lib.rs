@@ -1,0 +1,47 @@
+//! # dlk-defenses — baseline RowHammer and DNN defenses
+//!
+//! Every mechanism DRAM-Locker is compared against in the paper:
+//!
+//! - [`traits`]: the [`RowTracker`] abstraction for counter-based
+//!   trackers plus [`CounterDefenseHook`], which turns any tracker into
+//!   a memory-controller defense issuing targeted row refreshes (TRR);
+//! - [`graphene`]: Graphene's Misra-Gries heavy-hitter tracker;
+//! - [`hydra`]: Hydra's hybrid group-counter + per-row-cache tracker;
+//! - [`twice`]: TWiCE's pruned time-window counter table;
+//! - [`counters`]: the exact counter-per-row tracker and the
+//!   counter-tree tracker;
+//! - [`rrs`]: Randomized Row-Swap and Secure Row-Swap — swap-based
+//!   mitigations with logical-to-physical row remapping;
+//! - [`shadow`]: SHADOW — intra-subarray row shuffling, the closest
+//!   competitor in the paper (Fig. 7), with both a working hook and the
+//!   analytical latency/defense-time model behind Fig. 7(a)/(b);
+//! - [`overhead`]: the Table I hardware-overhead arithmetic for all ten
+//!   frameworks at the 32 GB / 16-bank DDR4 configuration;
+//! - [`pagetable_defenses`]: SoftTRR and PT-Guard — the §II page-table-
+//!   only defenses whose narrow scope motivates a general-purpose
+//!   lock-table;
+//! - [`training`]: the training-based DNN defenses of Table II
+//!   (piece-wise clustering, binary weights, capacity scaling, weight
+//!   reconstruction, RA-BNN).
+
+pub mod counters;
+pub mod graphene;
+pub mod hydra;
+pub mod overhead;
+pub mod pagetable_defenses;
+pub mod rrs;
+pub mod shadow;
+pub mod traits;
+pub mod twice;
+pub mod training;
+
+pub use counters::{CounterPerRow, CounterTree};
+pub use graphene::Graphene;
+pub use hydra::Hydra;
+pub use overhead::{table1, MemoryKind, Overhead, OverheadRow};
+pub use pagetable_defenses::{PtGuard, SoftTrr};
+pub use rrs::{RowSwapDefense, SwapPolicy};
+pub use shadow::{Shadow, ShadowModel};
+pub use traits::{CounterDefenseHook, RowTracker};
+pub use training::{baseline_entry, dram_locker_entry, TableTwoEntry};
+pub use twice::Twice;

@@ -1,0 +1,244 @@
+//! Page-table-specific defenses cited in §II: SoftTRR and PT-Guard.
+//!
+//! Both protect *only* the page tables — which is exactly the paper's
+//! point: they leave weight rows exposed to plain BFA, while
+//! DRAM-Locker's lock-table covers any row the user registers.
+//!
+//! - **SoftTRR** (Zhang et al., USENIX ATC 2022): software tracks
+//!   activations of rows adjacent to PTE rows and issues a targeted
+//!   refresh when a count crosses its threshold. Modeled as a
+//!   [`DefenseHook`] with a scoped counter table.
+//! - **PT-Guard** (Saxena et al., DSN 2023): a MAC over each PTE is
+//!   embedded in the entry's unused bits; on every page walk the MAC is
+//!   recomputed and checked, *detecting* (not preventing) corruption.
+
+use std::collections::{HashMap, HashSet};
+
+use dlk_dram::{DramDevice, RowAddr, RowId};
+use dlk_memctrl::{AddressMapper, DefenseHook, HookAction, MemRequest, PageTable, Pte};
+
+/// SoftTRR: software-tracked targeted row refresh for page-table rows.
+#[derive(Debug)]
+pub struct SoftTrr {
+    /// Rows adjacent to PTE rows (the tracked aggressor candidates).
+    tracked: HashSet<RowId>,
+    counts: HashMap<RowId, u64>,
+    threshold: u64,
+    refreshes: u64,
+}
+
+impl SoftTrr {
+    /// Creates a SoftTRR instance tracking the aggressor-candidate
+    /// rows of `table`'s PTE rows, refreshing at `threshold`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping errors from locating the PTE rows.
+    pub fn new(
+        table: &PageTable,
+        mapper: &AddressMapper,
+        threshold: u64,
+    ) -> Result<Self, dlk_memctrl::MemCtrlError> {
+        let geometry = mapper.geometry();
+        let mut tracked = HashSet::new();
+        for pte_row in table.pte_rows(mapper)? {
+            for offset in [-2i64, -1, 1, 2] {
+                if let Some(neighbor) = pte_row.neighbor(offset, geometry) {
+                    tracked.insert(geometry.row_id(neighbor));
+                }
+            }
+        }
+        Ok(Self { tracked, counts: HashMap::new(), threshold, refreshes: 0 })
+    }
+
+    /// Targeted refreshes issued.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Number of tracked rows.
+    pub fn tracked_rows(&self) -> usize {
+        self.tracked.len()
+    }
+}
+
+impl DefenseHook for SoftTrr {
+    fn before_access(
+        &mut self,
+        _request: &MemRequest,
+        _target: RowAddr,
+        _dram: &mut DramDevice,
+    ) -> HookAction {
+        HookAction::Allow
+    }
+
+    fn on_activate(&mut self, row: RowAddr, dram: &mut DramDevice) {
+        let id = dram.geometry().row_id(row);
+        if !self.tracked.contains(&id) {
+            return; // SoftTRR only watches page-table neighbourhoods.
+        }
+        let count = self.counts.entry(id).or_insert(0);
+        *count += 1;
+        if *count >= self.threshold {
+            *count = 0;
+            dram.hammer_mut().reset_row(id);
+            self.refreshes += 1;
+        }
+    }
+
+    fn check_latency(&self) -> u64 {
+        0 // software path, off the critical DRAM timing
+    }
+
+    fn name(&self) -> &str {
+        "softtrr"
+    }
+}
+
+/// PT-Guard: MAC-protected page-table entries.
+///
+/// The MAC is an 8-bit keyed hash of `(vpn, pfn, valid)` stored
+/// alongside the entry (the real design splits it across unused PTE
+/// bits). [`PtGuard::verify`] recomputes it on a page walk and reports
+/// corruption.
+#[derive(Debug, Clone)]
+pub struct PtGuard {
+    key: u64,
+    macs: HashMap<u64, u8>,
+    detections: u64,
+}
+
+impl PtGuard {
+    /// Creates a PT-Guard with a device key.
+    pub fn new(key: u64) -> Self {
+        Self { key, macs: HashMap::new(), detections: 0 }
+    }
+
+    fn mac(&self, vpn: u64, pte: Pte) -> u8 {
+        // An 8-bit keyed mix (stand-in for the paper's truncated MAC).
+        let mut x = self
+            .key
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(vpn)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .wrapping_add(pte.encode());
+        x ^= x >> 31;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        (x ^ (x >> 32)) as u8
+    }
+
+    /// Signs the entry after a legitimate update.
+    pub fn sign(&mut self, vpn: u64, pte: Pte) {
+        let mac = self.mac(vpn, pte);
+        self.macs.insert(vpn, mac);
+    }
+
+    /// Verifies the entry on a page walk. Returns `true` if intact.
+    pub fn verify(&mut self, vpn: u64, pte: Pte) -> bool {
+        let expected = self.macs.get(&vpn).copied();
+        let intact = expected == Some(self.mac(vpn, pte));
+        if !intact {
+            self.detections += 1;
+        }
+        intact
+    }
+
+    /// Corruptions detected so far.
+    pub fn detections(&self) -> u64 {
+        self.detections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlk_attacks::hammer::{HammerConfig, HammerDriver};
+    use dlk_attacks::pta::{PtaAttack, PtaConfig};
+    use dlk_memctrl::{MemCtrlConfig, MemoryController, PageTableConfig};
+
+    fn setup_table(ctrl: &mut MemoryController) -> PageTable {
+        let table = PageTable::new(PageTableConfig {
+            page_size: 256,
+            base_phys: 16 * 64,
+            num_pages: 16,
+        });
+        let mapper = *ctrl.mapper();
+        table.map(ctrl.dram_mut(), &mapper, 3, 8).expect("map");
+        table
+    }
+
+    #[test]
+    fn softtrr_stops_pta_hammering() {
+        let mut ctrl = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+        let table = setup_table(&mut ctrl);
+        let mapper = *ctrl.mapper();
+        let soft_trr = SoftTrr::new(&table, &mapper, 8).expect("rows map");
+        assert!(soft_trr.tracked_rows() > 0);
+        ctrl.set_hook(Box::new(soft_trr));
+        let attack = PtaAttack::new(PtaConfig {
+            pfn_bit: 1,
+            hammer: HammerConfig { max_activations: 10_000, check_interval: 8 },
+        });
+        let outcome = attack.execute(&mut ctrl, &table, 3).expect("attack runs");
+        assert!(!outcome.redirected, "{outcome:?}");
+    }
+
+    #[test]
+    fn softtrr_does_not_protect_weight_rows() {
+        // The paper's "general purpose" argument: page-table defenses
+        // leave data rows exposed.
+        let mut ctrl = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+        let table = setup_table(&mut ctrl);
+        let mapper = *ctrl.mapper();
+        let soft_trr = SoftTrr::new(&table, &mapper, 8).expect("rows map");
+        ctrl.set_hook(Box::new(soft_trr));
+        // Hammer an ordinary data row far from the page table.
+        let victim = RowAddr::new(1, 1, 20);
+        let driver =
+            HammerDriver::new(HammerConfig { max_activations: 4_000, check_interval: 8 });
+        let outcome = driver.hammer_bit(&mut ctrl, victim, 9).expect("campaign");
+        assert!(outcome.flipped, "SoftTRR must not stop a weight-row BFA: {outcome:?}");
+    }
+
+    #[test]
+    fn ptguard_detects_pfn_corruption() {
+        let mut guard = PtGuard::new(0x5EED);
+        let pte = Pte { pfn: 8, valid: true };
+        guard.sign(3, pte);
+        assert!(guard.verify(3, pte));
+        let corrupted = Pte { pfn: 8 ^ 2, valid: true };
+        assert!(!guard.verify(3, corrupted));
+        assert_eq!(guard.detections(), 1);
+    }
+
+    #[test]
+    fn ptguard_detects_live_pta() {
+        let mut ctrl = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+        let table = setup_table(&mut ctrl);
+        let mapper = *ctrl.mapper();
+        let mut guard = PtGuard::new(7);
+        let clean = table.read_pte(ctrl.dram(), &mapper, 3).expect("pte");
+        guard.sign(3, clean);
+        let attack = PtaAttack::new(PtaConfig {
+            pfn_bit: 1,
+            hammer: HammerConfig { max_activations: 10_000, check_interval: 8 },
+        });
+        let outcome = attack.execute(&mut ctrl, &table, 3).expect("attack runs");
+        assert!(outcome.redirected);
+        // The next page walk flags the corruption — detection, not
+        // prevention.
+        let walked = table.read_pte(ctrl.dram(), &mapper, 3).expect("pte");
+        assert!(!guard.verify(3, walked));
+    }
+
+    #[test]
+    fn ptguard_keys_matter() {
+        let mut a = PtGuard::new(1);
+        let mut b = PtGuard::new(2);
+        let pte = Pte { pfn: 5, valid: true };
+        a.sign(0, pte);
+        // A MAC signed under key 1 does not verify under key 2.
+        b.macs.clone_from(&a.macs);
+        assert!(!b.verify(0, pte));
+    }
+}

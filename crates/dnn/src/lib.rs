@@ -1,0 +1,57 @@
+//! # dlk-dnn — quantized DNN substrate
+//!
+//! The victim workload of the DRAM-Locker paper: 8-bit quantized neural
+//! networks whose weights live in DRAM rows. Everything is built from
+//! scratch:
+//!
+//! - [`tensor`]: a minimal 2-D tensor (row-major `f32` matrix);
+//! - [`layers`]: fully-connected layers with ReLU and a softmax
+//!   cross-entropy head, all with hand-written backprop;
+//! - [`model`]: the [`Mlp`] network and its training-time API;
+//! - [`quant`]: symmetric 8-bit quantization and the
+//!   [`QuantizedMlp`] inference network with per-bit weight access —
+//!   the attack surface of BFA;
+//! - [`data`]: deterministic synthetic classification datasets
+//!   standing in for CIFAR-10 / CIFAR-100 (see DESIGN.md §3 for the
+//!   substitution argument);
+//! - [`train`]: SGD training;
+//! - [`models`]: the paper's two evaluation networks, scaled:
+//!   ResNet-20-like (CIFAR-10-like) and VGG-11-like (CIFAR-100-like);
+//! - [`storage`]: the DRAM weight layout — deploys quantized weights
+//!   into [`dlk_dram`] rows and reads them back, so RowHammer flips in
+//!   DRAM *are* weight corruptions at inference time.
+//!
+//! ## Example
+//!
+//! ```
+//! use dlk_dnn::data::SyntheticDataset;
+//! use dlk_dnn::models;
+//! use dlk_dnn::quant::QuantizedMlp;
+//! use dlk_dnn::train::{Trainer, TrainConfig};
+//!
+//! let dataset = SyntheticDataset::tiny_for_tests(42);
+//! let mut model = models::tiny_mlp(42);
+//! let report = Trainer::new(TrainConfig::fast_for_tests()).fit(&mut model, &dataset);
+//! assert!(report.test_accuracy > 0.6);
+//! let quantized = QuantizedMlp::quantize(&model);
+//! assert!(quantized.total_weights() > 0);
+//! ```
+
+pub mod data;
+pub mod error;
+pub mod layers;
+pub mod model;
+pub mod models;
+pub mod quant;
+pub mod storage;
+pub mod tensor;
+pub mod train;
+
+pub use data::SyntheticDataset;
+pub use error::DnnError;
+pub use layers::Linear;
+pub use model::Mlp;
+pub use quant::{BitIndex, QuantLinear, QuantizedMlp};
+pub use storage::WeightLayout;
+pub use tensor::Tensor;
+pub use train::{TrainConfig, TrainReport, Trainer};

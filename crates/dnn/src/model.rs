@@ -1,0 +1,263 @@
+//! The MLP model: a stack of [`Linear`] layers with ReLU between.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DnnError;
+use crate::layers::{
+    cross_entropy_grad, relu_backward, relu_forward, softmax_cross_entropy, Linear, LinearGrads,
+};
+use crate::tensor::Tensor;
+
+/// A multi-layer perceptron.
+///
+/// # Example
+///
+/// ```
+/// use dlk_dnn::{Mlp, Tensor};
+/// let model = Mlp::new(&[8, 16, 4], 3);
+/// let x = Tensor::zeros(2, 8);
+/// let logits = model.forward(&x).unwrap();
+/// assert_eq!(logits.shape(), (2, 4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes, e.g. `&[in, h1, out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new(sizes: &[usize], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(w[0], w[1], seed.wrapping_add(i as u64)))
+            .collect();
+        Self { layers }
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Mutable layers.
+    pub fn layers_mut(&mut self) -> &mut [Linear] {
+        &mut self.layers
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.layers.first().map_or(0, Linear::in_features)
+    }
+
+    /// Output class count.
+    pub fn num_classes(&self) -> usize {
+        self.layers.last().map_or(0, Linear::out_features)
+    }
+
+    /// Total weight parameters across layers (excluding biases).
+    pub fn total_weights(&self) -> usize {
+        self.layers.iter().map(|l| l.weight().len()).sum()
+    }
+
+    /// Forward pass to logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] on wrong input width.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, DnnError> {
+        let mut activation = x.clone();
+        for (index, layer) in self.layers.iter().enumerate() {
+            activation = layer.forward(&activation)?;
+            if index + 1 < self.layers.len() {
+                activation.relu_inplace();
+            }
+        }
+        Ok(activation)
+    }
+
+    /// Forward + backward: returns the mean loss and per-layer grads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] on inconsistent shapes.
+    pub fn loss_and_grads(
+        &self,
+        x: &Tensor,
+        labels: &[usize],
+    ) -> Result<(f32, Vec<LinearGrads>), DnnError> {
+        // Forward with caches.
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut masks = Vec::with_capacity(self.layers.len());
+        let mut activation = x.clone();
+        for (index, layer) in self.layers.iter().enumerate() {
+            inputs.push(activation.clone());
+            activation = layer.forward(&activation)?;
+            if index + 1 < self.layers.len() {
+                let (y, mask) = relu_forward(&activation);
+                activation = y;
+                masks.push(mask);
+            }
+        }
+        let (loss, probs) = softmax_cross_entropy(&activation, labels);
+        // Backward.
+        let mut d_out = cross_entropy_grad(&probs, labels);
+        let mut grads = vec![None; self.layers.len()];
+        for index in (0..self.layers.len()).rev() {
+            let (layer_grads, d_x) = self.layers[index].backward(&inputs[index], &d_out)?;
+            grads[index] = Some(layer_grads);
+            d_out = if index > 0 {
+                relu_backward(&d_x, &masks[index - 1])
+            } else {
+                d_x
+            };
+        }
+        Ok((loss, grads.into_iter().map(Option::unwrap).collect()))
+    }
+
+    /// One SGD step on a batch; returns the pre-update loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] on inconsistent shapes.
+    pub fn train_step(
+        &mut self,
+        x: &Tensor,
+        labels: &[usize],
+        lr: f32,
+    ) -> Result<f32, DnnError> {
+        let (loss, grads) = self.loss_and_grads(x, labels)?;
+        for (layer, grad) in self.layers.iter_mut().zip(&grads) {
+            layer.apply_grads(grad, lr)?;
+        }
+        Ok(loss)
+    }
+
+    /// Predicted class per input row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] on wrong input width.
+    pub fn predict(&self, x: &Tensor) -> Result<Vec<usize>, DnnError> {
+        let logits = self.forward(x)?;
+        Ok(argmax_rows(&logits))
+    }
+
+    /// Classification accuracy on `(x, labels)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] on wrong input width.
+    pub fn accuracy(&self, x: &Tensor, labels: &[usize]) -> Result<f64, DnnError> {
+        let predictions = self.predict(x)?;
+        let correct =
+            predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+        Ok(correct as f64 / labels.len().max(1) as f64)
+    }
+}
+
+/// Row-wise argmax.
+pub fn argmax_rows(logits: &Tensor) -> Vec<usize> {
+    (0..logits.rows())
+        .map(|row| {
+            let mut best = 0;
+            let mut best_value = f32::NEG_INFINITY;
+            for (index, &value) in logits.row(row).iter().enumerate() {
+                if value > best_value {
+                    best_value = value;
+                    best = index;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let model = Mlp::new(&[4, 8, 3], 1);
+        let x = Tensor::zeros(5, 4);
+        assert_eq!(model.forward(&x).unwrap().shape(), (5, 3));
+        assert_eq!(model.num_classes(), 3);
+        assert_eq!(model.in_features(), 4);
+        assert_eq!(model.total_weights(), 4 * 8 + 8 * 3);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_separable_data() {
+        let mut model = Mlp::new(&[2, 16, 2], 5);
+        // Two separable clusters.
+        let mut xs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            xs.extend([sign * 2.0 + 0.01 * i as f32, sign * 2.0]);
+            labels.push(usize::from(i % 2 == 1));
+        }
+        let x = Tensor::from_vec(20, 2, xs);
+        let first = model.train_step(&x, &labels, 0.1).unwrap();
+        let mut last = first;
+        for _ in 0..50 {
+            last = model.train_step(&x, &labels, 0.1).unwrap();
+        }
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+        assert!(model.accuracy(&x, &labels).unwrap() > 0.95);
+    }
+
+    #[test]
+    fn multilayer_gradient_check() {
+        let model = Mlp::new(&[3, 5, 4, 2], 33);
+        let x = Tensor::randn(4, 3, 34);
+        let labels = vec![0, 1, 0, 1];
+        let (_, grads) = model.loss_and_grads(&x, &labels).unwrap();
+        let mut probe = model.clone();
+        let eps = 1e-3f32;
+        // Check one weight in each layer.
+        for layer_index in 0..3 {
+            let orig = probe.layers()[layer_index].weight().get(0, 0);
+            probe.layers_mut()[layer_index].weight_mut().set(0, 0, orig + eps);
+            let up = {
+                let y = probe.forward(&x).unwrap();
+                crate::layers::softmax_cross_entropy(&y, &labels).0
+            };
+            probe.layers_mut()[layer_index].weight_mut().set(0, 0, orig - eps);
+            let down = {
+                let y = probe.forward(&x).unwrap();
+                crate::layers::softmax_cross_entropy(&y, &labels).0
+            };
+            probe.layers_mut()[layer_index].weight_mut().set(0, 0, orig);
+            let numeric = (up - down) / (2.0 * eps);
+            let analytic = grads[layer_index].weight.get(0, 0);
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "layer {layer_index}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low_index() {
+        let logits = Tensor::from_rows(&[&[1.0, 1.0, 0.0]]);
+        assert_eq!(argmax_rows(&logits), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn too_few_sizes_panics() {
+        let _ = Mlp::new(&[4], 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! The paper's evaluation networks, scaled.
+//!
+//! The paper uses ResNet-20 on CIFAR-10 and VGG-11 on CIFAR-100. Full
+//! convolutional networks are out of scope for a simulation substrate
+//! (and irrelevant to the *defense* being evaluated); these stand-ins
+//! keep the relevant structure:
+//!
+//! - `resnet20_like`: deep-and-narrow (many small layers — ResNet-20's
+//!   signature), for the CIFAR-10-like dataset;
+//! - `vgg11_like`: wider with a big head (VGG's signature), for the
+//!   CIFAR-100-like dataset;
+//!
+//! both trained to high accuracy and then 8-bit quantized, exactly as
+//! in the paper's pipeline. DESIGN.md §3 records the substitution.
+
+use crate::data::SyntheticDataset;
+use crate::model::Mlp;
+use crate::quant::QuantizedMlp;
+use crate::train::{TrainConfig, Trainer};
+
+/// A deep-narrow network for the CIFAR-10-like dataset
+/// (32 → 64 → 64 → 64 → 48 → 10).
+pub fn resnet20_like(seed: u64) -> Mlp {
+    Mlp::new(&[32, 64, 64, 64, 48, 10], seed)
+}
+
+/// A wide network with a large head for the CIFAR-100-like dataset
+/// (64 → 128 → 128 → 100).
+pub fn vgg11_like(seed: u64) -> Mlp {
+    Mlp::new(&[64, 128, 128, 100], seed)
+}
+
+/// A tiny MLP for unit tests (8 → 24 → 4).
+pub fn tiny_mlp(seed: u64) -> Mlp {
+    Mlp::new(&[8, 24, 4], seed)
+}
+
+/// A trained-and-quantized victim: model, dataset and clean accuracy.
+#[derive(Debug, Clone)]
+pub struct Victim {
+    /// The quantized inference network deployed to DRAM.
+    pub model: QuantizedMlp,
+    /// Its dataset.
+    pub dataset: SyntheticDataset,
+    /// Test accuracy before any attack.
+    pub clean_accuracy: f64,
+}
+
+/// Trains and quantizes the ResNet-20-like victim on CIFAR-10-like.
+pub fn victim_resnet20_cifar10(seed: u64) -> Victim {
+    build_victim(resnet20_like(seed), SyntheticDataset::cifar10_like(seed), 40)
+}
+
+/// Trains and quantizes the VGG-11-like victim on CIFAR-100-like.
+pub fn victim_vgg11_cifar100(seed: u64) -> Victim {
+    build_victim(vgg11_like(seed), SyntheticDataset::cifar100_like(seed), 50)
+}
+
+/// Trains and quantizes a tiny victim for tests.
+pub fn victim_tiny(seed: u64) -> Victim {
+    build_victim(tiny_mlp(seed), SyntheticDataset::tiny_for_tests(seed), 12)
+}
+
+fn build_victim(mut model: Mlp, dataset: SyntheticDataset, epochs: usize) -> Victim {
+    let config = TrainConfig { epochs, ..TrainConfig::default() };
+    Trainer::new(config).fit(&mut model, &dataset);
+    let quantized = QuantizedMlp::quantize(&model);
+    let clean_accuracy = quantized
+        .accuracy(&dataset.test_x, &dataset.test_y)
+        .expect("victim shapes are consistent");
+    Victim { model: quantized, dataset, clean_accuracy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_victim_trains_well() {
+        let victim = victim_tiny(11);
+        assert!(
+            victim.clean_accuracy > 0.7,
+            "clean accuracy {}",
+            victim.clean_accuracy
+        );
+    }
+
+    #[test]
+    fn victims_are_deterministic() {
+        let a = victim_tiny(4);
+        let b = victim_tiny(4);
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.clean_accuracy, b.clean_accuracy);
+    }
+
+    #[test]
+    fn architectures_have_expected_shapes() {
+        assert_eq!(resnet20_like(0).num_layers(), 5);
+        assert_eq!(resnet20_like(0).num_classes(), 10);
+        assert_eq!(vgg11_like(0).num_classes(), 100);
+        // Deep-narrow vs wide: resnet-like has more layers, vgg-like
+        // more parameters per layer on average.
+        let r = resnet20_like(0);
+        let v = vgg11_like(0);
+        assert!(r.num_layers() > v.num_layers());
+        assert!(
+            v.total_weights() / v.num_layers() > r.total_weights() / r.num_layers()
+        );
+    }
+}

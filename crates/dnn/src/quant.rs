@@ -1,0 +1,435 @@
+//! Symmetric 8-bit quantization and the quantized inference network.
+//!
+//! Weights are quantized per layer: `scale = max|w| / 127`,
+//! `q = round(w / scale)` clamped to `[-127, 127]`, stored as `i8` in
+//! two's complement. A bit flip in the stored byte therefore changes
+//! the effective weight by `±2^bit · scale` for magnitude bits — and
+//! flips of bit 7 (the sign bit in two's complement) swing the weight
+//! by up to `128·scale`, which is why BFA overwhelmingly targets MSBs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DnnError;
+use crate::layers::{Linear, LinearGrads};
+use crate::model::{argmax_rows, Mlp};
+use crate::tensor::Tensor;
+
+/// Identifies one bit of one quantized weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BitIndex {
+    /// Layer index.
+    pub layer: usize,
+    /// Flat weight index within the layer.
+    pub weight: usize,
+    /// Bit position (0 = LSB, 7 = sign bit).
+    pub bit: u8,
+}
+
+/// A quantized fully-connected layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantLinear {
+    qweight: Vec<i8>,
+    out_features: usize,
+    in_features: usize,
+    scale: f32,
+    bias: Vec<f32>,
+}
+
+impl QuantLinear {
+    /// Quantizes a float layer.
+    pub fn quantize(layer: &Linear) -> Self {
+        let abs_max = layer.weight().abs_max();
+        let scale = if abs_max == 0.0 { 1.0 } else { abs_max / 127.0 };
+        let qweight = layer
+            .weight()
+            .as_slice()
+            .iter()
+            .map(|&w| (w / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        Self {
+            qweight,
+            out_features: layer.out_features(),
+            in_features: layer.in_features(),
+            scale,
+            bias: layer.bias().to_vec(),
+        }
+    }
+
+    /// Quantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Number of weights.
+    pub fn num_weights(&self) -> usize {
+        self.qweight.len()
+    }
+
+    /// Output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// The quantized weights.
+    pub fn qweights(&self) -> &[i8] {
+        &self.qweight
+    }
+
+    /// Raw weight byte (two's complement) at `index`.
+    pub fn weight_byte(&self, index: usize) -> Option<u8> {
+        self.qweight.get(index).map(|&q| q as u8)
+    }
+
+    /// Overwrites the raw weight byte at `index`.
+    pub fn set_weight_byte(&mut self, index: usize, byte: u8) -> bool {
+        if let Some(slot) = self.qweight.get_mut(index) {
+            *slot = byte as i8;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Dequantizes to a float layer.
+    pub fn dequantize(&self) -> Linear {
+        let weight = Tensor::from_vec(
+            self.out_features,
+            self.in_features,
+            self.qweight.iter().map(|&q| q as f32 * self.scale).collect(),
+        );
+        Linear::from_parts(weight, self.bias.clone())
+    }
+
+    /// Forward pass using dequantized weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] on wrong input width.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, DnnError> {
+        self.dequantize().forward(x)
+    }
+}
+
+/// The quantized inference network — BFA's attack surface.
+///
+/// # Example
+///
+/// ```
+/// use dlk_dnn::{Mlp, QuantizedMlp, BitIndex};
+///
+/// let model = Mlp::new(&[4, 8, 2], 3);
+/// let mut quantized = QuantizedMlp::quantize(&model);
+/// let bit = BitIndex { layer: 0, weight: 0, bit: 7 };
+/// let before = quantized.layers()[0].qweights()[0];
+/// quantized.flip_bit(bit).unwrap();
+/// assert_ne!(quantized.layers()[0].qweights()[0], before);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedMlp {
+    layers: Vec<QuantLinear>,
+}
+
+impl QuantizedMlp {
+    /// Quantizes every layer of a float model.
+    pub fn quantize(model: &Mlp) -> Self {
+        Self { layers: model.layers().iter().map(QuantLinear::quantize).collect() }
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[QuantLinear] {
+        &self.layers
+    }
+
+    /// Mutable layers.
+    pub fn layers_mut(&mut self) -> &mut [QuantLinear] {
+        &mut self.layers
+    }
+
+    /// Total quantized weights.
+    pub fn total_weights(&self) -> usize {
+        self.layers.iter().map(QuantLinear::num_weights).sum()
+    }
+
+    /// Total weight bits (8 per weight).
+    pub fn total_bits(&self) -> usize {
+        self.total_weights() * 8
+    }
+
+    /// Reconstructs the float model implied by current (possibly
+    /// corrupted) quantized weights.
+    pub fn to_float_model(&self) -> Mlp {
+        let mut model = Mlp::new(
+            &self.shape_sizes(),
+            0, // weights are overwritten below
+        );
+        for (dst, src) in model.layers_mut().iter_mut().zip(&self.layers) {
+            *dst = src.dequantize();
+        }
+        model
+    }
+
+    fn shape_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![self.layers[0].in_features()];
+        sizes.extend(self.layers.iter().map(QuantLinear::out_features));
+        sizes
+    }
+
+    /// Forward pass to logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] on wrong input width.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, DnnError> {
+        let mut activation = x.clone();
+        for (index, layer) in self.layers.iter().enumerate() {
+            activation = layer.forward(&activation)?;
+            if index + 1 < self.layers.len() {
+                activation.relu_inplace();
+            }
+        }
+        Ok(activation)
+    }
+
+    /// Classification accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] on wrong input width.
+    pub fn accuracy(&self, x: &Tensor, labels: &[usize]) -> Result<f64, DnnError> {
+        let logits = self.forward(x)?;
+        let predictions = argmax_rows(&logits);
+        let correct =
+            predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+        Ok(correct as f64 / labels.len().max(1) as f64)
+    }
+
+    /// Mean loss and per-layer gradients w.r.t. the *dequantized*
+    /// weights — the ranking signal of progressive bit search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] on inconsistent shapes.
+    pub fn loss_and_grads(
+        &self,
+        x: &Tensor,
+        labels: &[usize],
+    ) -> Result<(f32, Vec<LinearGrads>), DnnError> {
+        self.to_float_model().loss_and_grads(x, labels)
+    }
+
+    /// Reads one weight bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::BadWeightIndex`] for out-of-range indices.
+    pub fn bit(&self, index: BitIndex) -> Result<bool, DnnError> {
+        let byte = self
+            .layers
+            .get(index.layer)
+            .and_then(|l| l.weight_byte(index.weight))
+            .ok_or(DnnError::BadWeightIndex { layer: index.layer, index: index.weight })?;
+        Ok(byte >> (index.bit & 7) & 1 == 1)
+    }
+
+    /// Flips one weight bit; returns the new bit value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::BadWeightIndex`] for out-of-range indices.
+    pub fn flip_bit(&mut self, index: BitIndex) -> Result<bool, DnnError> {
+        let layer = self
+            .layers
+            .get_mut(index.layer)
+            .ok_or(DnnError::BadWeightIndex { layer: index.layer, index: index.weight })?;
+        let byte = layer
+            .weight_byte(index.weight)
+            .ok_or(DnnError::BadWeightIndex { layer: index.layer, index: index.weight })?;
+        let flipped = byte ^ (1 << (index.bit & 7));
+        layer.set_weight_byte(index.weight, flipped);
+        Ok(flipped >> (index.bit & 7) & 1 == 1)
+    }
+
+    /// The change in effective weight value a flip of `index` causes
+    /// right now (signed, in float weight units).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::BadWeightIndex`] for out-of-range indices.
+    pub fn flip_delta(&self, index: BitIndex) -> Result<f32, DnnError> {
+        let layer = self
+            .layers
+            .get(index.layer)
+            .ok_or(DnnError::BadWeightIndex { layer: index.layer, index: index.weight })?;
+        let byte = layer
+            .weight_byte(index.weight)
+            .ok_or(DnnError::BadWeightIndex { layer: index.layer, index: index.weight })?;
+        let before = byte as i8 as f32;
+        let after = (byte ^ (1 << (index.bit & 7))) as i8 as f32;
+        Ok((after - before) * layer.scale())
+    }
+
+    /// Concatenated raw weight bytes of all layers (two's complement) —
+    /// the image deployed into DRAM.
+    pub fn weight_bytes(&self) -> Vec<u8> {
+        self.layers
+            .iter()
+            .flat_map(|l| l.qweights().iter().map(|&q| q as u8))
+            .collect()
+    }
+
+    /// Overwrites all weights from a concatenated byte image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::RegionTooSmall`] if `bytes` is shorter than
+    /// the weight count.
+    pub fn load_weight_bytes(&mut self, bytes: &[u8]) -> Result<(), DnnError> {
+        let needed = self.total_weights();
+        if bytes.len() < needed {
+            return Err(DnnError::RegionTooSmall {
+                needed: needed as u64,
+                available: bytes.len() as u64,
+            });
+        }
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            for index in 0..layer.num_weights() {
+                layer.set_weight_byte(index, bytes[offset + index]);
+            }
+            offset += layer.num_weights();
+        }
+        Ok(())
+    }
+
+    /// Locates a flat byte offset (into [`QuantizedMlp::weight_bytes`])
+    /// as a `(layer, weight)` pair.
+    pub fn locate_byte(&self, offset: usize) -> Option<(usize, usize)> {
+        let mut base = 0;
+        for (layer_index, layer) in self.layers.iter().enumerate() {
+            if offset < base + layer.num_weights() {
+                return Some((layer_index, offset - base));
+            }
+            base += layer.num_weights();
+        }
+        None
+    }
+
+    /// Inverse of [`QuantizedMlp::locate_byte`].
+    pub fn byte_offset(&self, layer: usize, weight: usize) -> Option<usize> {
+        if layer >= self.layers.len() || weight >= self.layers[layer].num_weights() {
+            return None;
+        }
+        let base: usize = self.layers[..layer].iter().map(QuantLinear::num_weights).sum();
+        Some(base + weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> Mlp {
+        Mlp::new(&[4, 6, 3], 17)
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        let float_model = model();
+        let quantized = QuantizedMlp::quantize(&float_model);
+        for (fl, ql) in float_model.layers().iter().zip(quantized.layers()) {
+            let deq = ql.dequantize();
+            for (a, b) in fl.weight().as_slice().iter().zip(deq.weight().as_slice()) {
+                assert!((a - b).abs() <= ql.scale() / 2.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_accuracy_close_to_float() {
+        let float_model = model();
+        let quantized = QuantizedMlp::quantize(&float_model);
+        let x = Tensor::randn(32, 4, 3);
+        let float_logits = float_model.forward(&x).unwrap();
+        let quant_logits = quantized.forward(&x).unwrap();
+        let agree = argmax_rows(&float_logits)
+            .iter()
+            .zip(argmax_rows(&quant_logits))
+            .filter(|(a, b)| **a == *b)
+            .count();
+        assert!(agree >= 30, "8-bit quantization should barely change argmax: {agree}/32");
+    }
+
+    #[test]
+    fn bit_flip_roundtrip() {
+        let mut quantized = QuantizedMlp::quantize(&model());
+        let bit = BitIndex { layer: 1, weight: 5, bit: 3 };
+        let before = quantized.bit(bit).unwrap();
+        let after = quantized.flip_bit(bit).unwrap();
+        assert_ne!(before, after);
+        quantized.flip_bit(bit).unwrap();
+        assert_eq!(quantized.bit(bit).unwrap(), before);
+    }
+
+    #[test]
+    fn msb_flip_moves_weight_most() {
+        let quantized = QuantizedMlp::quantize(&model());
+        let lsb = quantized
+            .flip_delta(BitIndex { layer: 0, weight: 0, bit: 0 })
+            .unwrap()
+            .abs();
+        let msb = quantized
+            .flip_delta(BitIndex { layer: 0, weight: 0, bit: 7 })
+            .unwrap()
+            .abs();
+        assert!(msb > lsb * 100.0, "msb {msb} vs lsb {lsb}");
+    }
+
+    #[test]
+    fn out_of_range_bit_rejected() {
+        let quantized = QuantizedMlp::quantize(&model());
+        assert!(quantized.bit(BitIndex { layer: 9, weight: 0, bit: 0 }).is_err());
+        assert!(quantized.bit(BitIndex { layer: 0, weight: 1 << 20, bit: 0 }).is_err());
+    }
+
+    #[test]
+    fn weight_bytes_roundtrip() {
+        let quantized = QuantizedMlp::quantize(&model());
+        let bytes = quantized.weight_bytes();
+        assert_eq!(bytes.len(), quantized.total_weights());
+        let mut other = quantized.clone();
+        // Corrupt then restore.
+        let mut corrupted = bytes.clone();
+        corrupted[0] ^= 0x80;
+        other.load_weight_bytes(&corrupted).unwrap();
+        assert_ne!(other, quantized);
+        other.load_weight_bytes(&bytes).unwrap();
+        assert_eq!(other, quantized);
+    }
+
+    #[test]
+    fn locate_byte_is_inverse_of_byte_offset() {
+        let quantized = QuantizedMlp::quantize(&model());
+        for offset in [0usize, 5, 23, quantized.total_weights() - 1] {
+            let (layer, weight) = quantized.locate_byte(offset).unwrap();
+            assert_eq!(quantized.byte_offset(layer, weight), Some(offset));
+        }
+        assert_eq!(quantized.locate_byte(quantized.total_weights()), None);
+    }
+
+    #[test]
+    fn to_float_model_matches_forward() {
+        let quantized = QuantizedMlp::quantize(&model());
+        let float_model = quantized.to_float_model();
+        let x = Tensor::randn(4, 4, 8);
+        let a = quantized.forward(&x).unwrap();
+        let b = float_model.forward(&x).unwrap();
+        for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((p - q).abs() < 1e-5);
+        }
+    }
+}

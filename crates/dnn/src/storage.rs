@@ -1,0 +1,273 @@
+//! The DRAM weight layout.
+//!
+//! Deploys a [`QuantizedMlp`]'s weight bytes into DRAM rows at a base
+//! physical address and reads them back. This closes the loop that
+//! makes the attacks *physical*: a RowHammer disturbance in a weight
+//! row is an actual bit flip in the byte image that the next
+//! [`WeightLayout::load`] turns into a corrupted model.
+//!
+//! The layout also answers the two geometry questions the rest of the
+//! system asks:
+//!
+//! - attacker: "which DRAM row and bit do I hammer to flip bit `b` of
+//!   weight `w`?" — [`WeightLayout::bit_location`];
+//! - defender: "which rows hold weights, so I can lock their
+//!   neighbours?" — [`WeightLayout::rows_spanned`].
+
+use dlk_dram::{DramDevice, RowAddr};
+use dlk_memctrl::AddressMapper;
+
+use crate::error::DnnError;
+use crate::quant::{BitIndex, QuantizedMlp};
+
+/// Maps a quantized model's weights onto DRAM rows.
+///
+/// # Example
+///
+/// ```
+/// use dlk_dram::{DramConfig, DramDevice};
+/// use dlk_memctrl::{AddressMapper, MappingScheme};
+/// use dlk_dnn::{models, QuantizedMlp, WeightLayout};
+///
+/// # fn main() -> Result<(), dlk_dnn::DnnError> {
+/// let mut dram = DramDevice::new(DramConfig::tiny_for_tests());
+/// let mapper = AddressMapper::new(*dram.geometry(), MappingScheme::BankSequential);
+/// let model = QuantizedMlp::quantize(&models::tiny_mlp(1));
+/// let layout = WeightLayout::new(0x0, mapper);
+/// layout.deploy(&model, &mut dram)?;
+/// let mut reloaded = model.clone();
+/// layout.load(&mut reloaded, &dram)?;
+/// assert_eq!(reloaded, model);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightLayout {
+    base_phys: u64,
+    mapper: AddressMapper,
+}
+
+impl WeightLayout {
+    /// Creates a layout placing weights at physical address `base_phys`.
+    pub fn new(base_phys: u64, mapper: AddressMapper) -> Self {
+        Self { base_phys, mapper }
+    }
+
+    /// Base physical address of the weight image.
+    pub fn base_phys(&self) -> u64 {
+        self.base_phys
+    }
+
+    /// The address mapper.
+    pub fn mapper(&self) -> &AddressMapper {
+        &self.mapper
+    }
+
+    /// Bytes the model occupies.
+    pub fn required_bytes(&self, model: &QuantizedMlp) -> u64 {
+        model.total_weights() as u64
+    }
+
+    /// Physical byte address of a weight.
+    pub fn weight_phys_addr(&self, model: &QuantizedMlp, layer: usize, weight: usize) -> Option<u64> {
+        model.byte_offset(layer, weight).map(|offset| self.base_phys + offset as u64)
+    }
+
+    /// DRAM location of one weight *bit*: `(row, bit-within-row)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::BadWeightIndex`] for out-of-range indices or
+    /// a DRAM error if the image exceeds capacity.
+    pub fn bit_location(
+        &self,
+        model: &QuantizedMlp,
+        index: BitIndex,
+    ) -> Result<(RowAddr, usize), DnnError> {
+        let phys = self
+            .weight_phys_addr(model, index.layer, index.weight)
+            .ok_or(DnnError::BadWeightIndex { layer: index.layer, index: index.weight })?;
+        let (row, col) = self
+            .mapper
+            .to_dram(phys)
+            .map_err(|_| DnnError::RegionTooSmall {
+                needed: phys,
+                available: self.mapper.capacity(),
+            })?;
+        Ok((row, col * 8 + (index.bit & 7) as usize))
+    }
+
+    /// The DRAM row holding a weight byte.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WeightLayout::bit_location`].
+    pub fn weight_row(
+        &self,
+        model: &QuantizedMlp,
+        layer: usize,
+        weight: usize,
+    ) -> Result<RowAddr, DnnError> {
+        self.bit_location(model, BitIndex { layer, weight, bit: 0 })
+            .map(|(row, _)| row)
+    }
+
+    /// Every DRAM row the weight image touches, in address order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the image exceeds DRAM capacity.
+    pub fn rows_spanned(&self, model: &QuantizedMlp) -> Result<Vec<RowAddr>, DnnError> {
+        let bytes = self.required_bytes(model);
+        let row_bytes = self.mapper.geometry().row_bytes as u64;
+        let mut rows = Vec::new();
+        let mut phys = self.base_phys;
+        let end = self.base_phys + bytes;
+        while phys < end {
+            let (row, _) = self.mapper.to_dram(phys).map_err(|_| DnnError::RegionTooSmall {
+                needed: end,
+                available: self.mapper.capacity(),
+            })?;
+            rows.push(row);
+            phys = (phys / row_bytes + 1) * row_bytes;
+        }
+        Ok(rows)
+    }
+
+    /// The physical byte range `[start, end)` of the weight image —
+    /// what the victim registers with the protection plan.
+    pub fn phys_range(&self, model: &QuantizedMlp) -> (u64, u64) {
+        (self.base_phys, self.base_phys + self.required_bytes(model))
+    }
+
+    /// Writes the model's weight bytes into DRAM (functional writes —
+    /// deployment happens once, off the timed path).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the image exceeds DRAM capacity.
+    pub fn deploy(&self, model: &QuantizedMlp, dram: &mut DramDevice) -> Result<(), DnnError> {
+        let bytes = model.weight_bytes();
+        let row_bytes = self.mapper.geometry().row_bytes;
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            let phys = self.base_phys + offset as u64;
+            let (row, col) = self.mapper.to_dram(phys).map_err(|_| DnnError::RegionTooSmall {
+                needed: bytes.len() as u64,
+                available: self.mapper.capacity(),
+            })?;
+            let take = (row_bytes - col).min(bytes.len() - offset);
+            let mut row_data = dram.read_row(row)?;
+            row_data[col..col + take].copy_from_slice(&bytes[offset..offset + take]);
+            dram.write_row(row, &row_data)?;
+            offset += take;
+        }
+        Ok(())
+    }
+
+    /// Reads the weight image back from DRAM into the model —
+    /// inference always runs on what DRAM currently holds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the image exceeds DRAM capacity.
+    pub fn load(&self, model: &mut QuantizedMlp, dram: &DramDevice) -> Result<(), DnnError> {
+        let total = model.total_weights();
+        let row_bytes = self.mapper.geometry().row_bytes;
+        let mut bytes = Vec::with_capacity(total);
+        while bytes.len() < total {
+            let phys = self.base_phys + bytes.len() as u64;
+            let (row, col) = self.mapper.to_dram(phys).map_err(|_| DnnError::RegionTooSmall {
+                needed: total as u64,
+                available: self.mapper.capacity(),
+            })?;
+            let take = (row_bytes - col).min(total - bytes.len());
+            let row_data = dram.read_row(row)?;
+            bytes.extend_from_slice(&row_data[col..col + take]);
+        }
+        model.load_weight_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use dlk_dram::DramConfig;
+    use dlk_memctrl::MappingScheme;
+
+    fn setup() -> (DramDevice, WeightLayout, QuantizedMlp) {
+        let dram = DramDevice::new(DramConfig::tiny_for_tests());
+        let mapper = AddressMapper::new(*dram.geometry(), MappingScheme::BankSequential);
+        let model = QuantizedMlp::quantize(&models::tiny_mlp(9));
+        (dram, WeightLayout::new(128, mapper), model)
+    }
+
+    #[test]
+    fn deploy_load_roundtrip() {
+        let (mut dram, layout, model) = setup();
+        layout.deploy(&model, &mut dram).unwrap();
+        let mut reloaded = model.clone();
+        layout.load(&mut reloaded, &dram).unwrap();
+        assert_eq!(reloaded, model);
+    }
+
+    #[test]
+    fn dram_bit_flip_corrupts_expected_weight() {
+        let (mut dram, layout, model) = setup();
+        layout.deploy(&model, &mut dram).unwrap();
+        let target = BitIndex { layer: 1, weight: 7, bit: 7 };
+        let (row, bit) = layout.bit_location(&model, target).unwrap();
+        dram.flip_bit(row, bit).unwrap();
+        let mut corrupted = model.clone();
+        layout.load(&mut corrupted, &dram).unwrap();
+        // Exactly the targeted weight changed, by the sign bit.
+        assert_eq!(corrupted.bit(target).unwrap(), !model.bit(target).unwrap());
+        let byte_before = model.layers()[1].weight_byte(7).unwrap();
+        let byte_after = corrupted.layers()[1].weight_byte(7).unwrap();
+        assert_eq!(byte_before ^ byte_after, 0x80);
+        // All other layers untouched.
+        assert_eq!(corrupted.layers()[0], model.layers()[0]);
+    }
+
+    #[test]
+    fn rows_spanned_covers_image() {
+        let (_, layout, model) = setup();
+        let rows = layout.rows_spanned(&model).unwrap();
+        let row_bytes = 64u64;
+        let expected = {
+            let start = 128 / row_bytes;
+            let end = (128 + model.total_weights() as u64).div_ceil(row_bytes);
+            (end - start) as usize
+        };
+        assert_eq!(rows.len(), expected);
+    }
+
+    #[test]
+    fn phys_range_matches_required_bytes() {
+        let (_, layout, model) = setup();
+        let (start, end) = layout.phys_range(&model);
+        assert_eq!(start, 128);
+        assert_eq!(end - start, layout.required_bytes(&model));
+    }
+
+    #[test]
+    fn image_exceeding_capacity_rejected() {
+        let (mut dram, _, model) = setup();
+        let mapper = AddressMapper::new(*dram.geometry(), MappingScheme::BankSequential);
+        let layout = WeightLayout::new(mapper.capacity() - 4, mapper);
+        assert!(matches!(
+            layout.deploy(&model, &mut dram),
+            Err(DnnError::RegionTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn weight_phys_addr_is_contiguous() {
+        let (_, layout, model) = setup();
+        let a = layout.weight_phys_addr(&model, 0, 0).unwrap();
+        let b = layout.weight_phys_addr(&model, 0, 1).unwrap();
+        assert_eq!(b, a + 1);
+        assert_eq!(layout.weight_phys_addr(&model, 99, 0), None);
+    }
+}

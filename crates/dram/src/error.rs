@@ -1,0 +1,97 @@
+//! Error type for DRAM device operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::geometry::RowAddr;
+
+/// Errors returned by DRAM device operations.
+///
+/// Commands that violate the bank state machine (for example a `RD` to a
+/// precharged bank) or reference rows outside the configured geometry are
+/// rejected with one of these variants rather than silently mis-executing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramError {
+    /// The row address does not exist in the configured geometry.
+    InvalidRow(RowAddr),
+    /// The bank index exceeds the configured bank count.
+    InvalidBank(u16),
+    /// A column access referenced a byte offset beyond the row size.
+    InvalidColumn {
+        /// Offending column (byte offset within the row).
+        col: usize,
+        /// Row size in bytes.
+        row_bytes: usize,
+    },
+    /// The command is illegal in the bank's current state, e.g. `RD`
+    /// while the bank is precharged or `ACT` while a row is already open.
+    IllegalCommand {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A RowClone was requested across subarrays in Fast-Parallel-Mode,
+    /// which only works within a single subarray.
+    CrossSubarrayClone {
+        /// Source row.
+        src: RowAddr,
+        /// Destination row.
+        dst: RowAddr,
+    },
+    /// Data buffer length does not match the row size.
+    DataSizeMismatch {
+        /// Provided buffer length.
+        got: usize,
+        /// Required row size in bytes.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::InvalidRow(addr) => write!(f, "row address out of range: {addr}"),
+            DramError::InvalidBank(bank) => write!(f, "bank index out of range: {bank}"),
+            DramError::InvalidColumn { col, row_bytes } => {
+                write!(f, "column {col} out of range for row of {row_bytes} bytes")
+            }
+            DramError::IllegalCommand { detail } => {
+                write!(f, "illegal command for bank state: {detail}")
+            }
+            DramError::CrossSubarrayClone { src, dst } => write!(
+                f,
+                "fast-parallel-mode rowclone requires same subarray (src {src}, dst {dst})"
+            ),
+            DramError::DataSizeMismatch { got, expected } => {
+                write!(f, "data size mismatch: got {got} bytes, expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = DramError::InvalidBank(99);
+        let text = err.to_string();
+        assert!(text.contains("99"));
+        assert!(text.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DramError>();
+    }
+
+    #[test]
+    fn data_size_mismatch_mentions_both_sizes() {
+        let err = DramError::DataSizeMismatch { got: 4, expected: 8192 };
+        let text = err.to_string();
+        assert!(text.contains('4') && text.contains("8192"));
+    }
+}

@@ -1,0 +1,65 @@
+//! # dlk-dram — cycle-level DRAM device model
+//!
+//! This crate is the hardware substrate of the [DRAM-Locker (DATE 2024)]
+//! reproduction. It models a DRAM device at command granularity:
+//!
+//! - [`geometry`]: banks / subarrays / rows / columns and typed addresses;
+//! - [`timing`]: DDR timing parameters (tRCD, tRP, tRAS, CL, tREFI, ...)
+//!   with presets for DDR3/DDR4/LPDDR4;
+//! - [`command`]: the DRAM command set — `ACT`, `PRE`, `RD`, `WR`, `REF`
+//!   plus the back-to-back `AAP` (activate-activate) RowClone command;
+//! - [`bank`] / [`subarray`]: bank state machines and row storage;
+//! - [`device`]: the [`DramDevice`] tying everything together;
+//! - [`rowhammer`]: the disturbance engine — per-row activation counters
+//!   within a refresh window; crossing the RowHammer threshold (TRH) flips
+//!   bits in neighbouring victim rows;
+//! - [`rowclone`]: fast in-DRAM row copy (RowClone FPM/PSM) used by
+//!   DRAM-Locker's SWAP operation;
+//! - [`generation`]: published TRH values per DRAM generation (Fig. 1(b)
+//!   of the paper);
+//! - [`stats`]: command counts, cycle accounting and energy.
+//!
+//! The model is *command-level*: the device keeps a cycle clock, per-bank
+//! busy-until times and a functional copy of row data, which is sufficient
+//! to reproduce the latency/energy/security behaviour evaluated in the
+//! paper without RTL-level detail.
+//!
+//! ## Example
+//!
+//! ```
+//! use dlk_dram::{DramConfig, DramDevice, RowAddr};
+//!
+//! # fn main() -> Result<(), dlk_dram::DramError> {
+//! let mut dram = DramDevice::new(DramConfig::default());
+//! let row = RowAddr::new(0, 0, 42);
+//! dram.write_row(row, &vec![0xAB; dram.geometry().row_bytes])?;
+//! let data = dram.read_row(row)?;
+//! assert!(data.iter().all(|&b| b == 0xAB));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [DRAM-Locker (DATE 2024)]: https://arxiv.org/abs/2312.09027
+
+pub mod bank;
+pub mod command;
+pub mod device;
+pub mod error;
+pub mod generation;
+pub mod geometry;
+pub mod rowclone;
+pub mod rowhammer;
+pub mod stats;
+pub mod subarray;
+pub mod timing;
+
+pub use bank::{Bank, BankState};
+pub use command::{CommandKind, CommandResult, DramCommand};
+pub use device::{DramConfig, DramDevice};
+pub use error::DramError;
+pub use generation::DramGeneration;
+pub use geometry::{BankId, DramGeometry, RowAddr, RowId, SubarrayId};
+pub use rowclone::{CloneMode, RowCloneEngine};
+pub use rowhammer::{DisturbanceEvent, FlipTarget, HammerTracker, RowHammerConfig};
+pub use stats::{DramStats, EnergyModel};
+pub use timing::TimingParams;

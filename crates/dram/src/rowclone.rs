@@ -1,0 +1,166 @@
+//! RowClone: fast in-DRAM bulk row copy.
+//!
+//! Two modes, following Seshadri et al. (MICRO 2013):
+//!
+//! - **FPM** (Fast Parallel Mode): source and destination share a
+//!   subarray; two back-to-back ACTs copy the row through the sense
+//!   amplifiers in under 100 ns.
+//! - **PSM** (Pipelined Serial Mode): rows in different subarrays or
+//!   banks; data moves over the internal bus one cache line at a time —
+//!   still avoiding the memory channel, but much slower than FPM.
+//!
+//! The engine plans a copy and reports its latency/energy, which the
+//! DRAM-Locker SWAP engine uses to cost its three-copy unlock sequence.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::RowAddr;
+use crate::stats::EnergyModel;
+use crate::timing::TimingParams;
+
+/// How a row copy will be executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CloneMode {
+    /// Intra-subarray copy via back-to-back activation.
+    Fpm,
+    /// Inter-subarray/inter-bank copy over the internal bus.
+    Psm,
+}
+
+/// Plans row copies and reports their costs.
+///
+/// # Example
+///
+/// ```
+/// use dlk_dram::{RowCloneEngine, RowAddr, CloneMode};
+/// use dlk_dram::{TimingParams, EnergyModel};
+///
+/// let engine = RowCloneEngine::new(TimingParams::ddr4_2400(), EnergyModel::default(), 8192);
+/// let src = RowAddr::new(0, 3, 10);
+/// let dst = RowAddr::new(0, 3, 11);
+/// assert_eq!(engine.mode(src, dst), CloneMode::Fpm);
+/// assert!(engine.latency_cycles(CloneMode::Fpm) < engine.latency_cycles(CloneMode::Psm));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowCloneEngine {
+    timing: TimingParams,
+    energy: EnergyModel,
+    row_bytes: usize,
+    /// Internal bus width for PSM transfers, bytes per beat.
+    psm_beat_bytes: usize,
+}
+
+impl RowCloneEngine {
+    /// Creates an engine for the given timing/energy model and row size.
+    pub fn new(timing: TimingParams, energy: EnergyModel, row_bytes: usize) -> Self {
+        Self { timing, energy, row_bytes, psm_beat_bytes: 64 }
+    }
+
+    /// Chooses the copy mode for a source/destination pair.
+    pub fn mode(&self, src: RowAddr, dst: RowAddr) -> CloneMode {
+        if src.bank == dst.bank && src.subarray == dst.subarray {
+            CloneMode::Fpm
+        } else {
+            CloneMode::Psm
+        }
+    }
+
+    /// Latency of one full row copy in cycles.
+    pub fn latency_cycles(&self, mode: CloneMode) -> u64 {
+        match mode {
+            CloneMode::Fpm => self.timing.rowclone_cycles(),
+            CloneMode::Psm => {
+                // ACT src, stream beats, ACT dst, stream beats, PREs.
+                let beats = (self.row_bytes.div_ceil(self.psm_beat_bytes)) as u64;
+                2 * (self.timing.trcd + self.timing.trp) + beats * self.timing.tccd * 2
+            }
+        }
+    }
+
+    /// Latency in nanoseconds.
+    pub fn latency_ns(&self, mode: CloneMode) -> f64 {
+        self.timing.cycles_to_ns(self.latency_cycles(mode))
+    }
+
+    /// Energy of one full row copy in picojoules.
+    pub fn energy_pj(&self, mode: CloneMode) -> f64 {
+        match mode {
+            CloneMode::Fpm => self.energy.aap_pj,
+            CloneMode::Psm => {
+                let beats = (self.row_bytes.div_ceil(self.psm_beat_bytes)) as f64;
+                2.0 * (self.energy.act_pj + self.energy.pre_pj)
+                    + beats * 0.5 * (self.energy.rd_pj + self.energy.wr_pj)
+            }
+        }
+    }
+
+    /// Latency of copying the row over the memory channel (the non-
+    /// RowClone baseline a conventional memcpy would pay).
+    pub fn channel_copy_cycles(&self) -> u64 {
+        let beats = (self.row_bytes.div_ceil(self.psm_beat_bytes)) as u64;
+        // Read the row out and write it back: two row cycles plus a CAS
+        // per beat in each direction over the external bus.
+        2 * self.timing.row_cycle() + beats * (self.timing.cl + self.timing.twr)
+    }
+
+    /// Speedup of FPM RowClone over a channel copy (the paper cites
+    /// 11.6x latency reduction).
+    pub fn fpm_speedup(&self) -> f64 {
+        self.channel_copy_cycles() as f64 / self.latency_cycles(CloneMode::Fpm) as f64
+    }
+
+    /// Energy advantage of FPM RowClone over a channel copy (the paper
+    /// cites 74.4x).
+    pub fn fpm_energy_advantage(&self) -> f64 {
+        self.energy.channel_copy_pj(self.row_bytes, self.psm_beat_bytes)
+            / self.energy_pj(CloneMode::Fpm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> RowCloneEngine {
+        RowCloneEngine::new(TimingParams::ddr4_2400(), EnergyModel::default(), 8192)
+    }
+
+    #[test]
+    fn mode_selection() {
+        let e = engine();
+        assert_eq!(e.mode(RowAddr::new(0, 1, 2), RowAddr::new(0, 1, 9)), CloneMode::Fpm);
+        assert_eq!(e.mode(RowAddr::new(0, 1, 2), RowAddr::new(0, 2, 2)), CloneMode::Psm);
+        assert_eq!(e.mode(RowAddr::new(0, 1, 2), RowAddr::new(1, 1, 2)), CloneMode::Psm);
+    }
+
+    #[test]
+    fn fpm_completes_under_100ns() {
+        assert!(engine().latency_ns(CloneMode::Fpm) < 100.0);
+    }
+
+    #[test]
+    fn psm_slower_than_fpm_but_faster_than_channel() {
+        let e = engine();
+        let fpm = e.latency_cycles(CloneMode::Fpm);
+        let psm = e.latency_cycles(CloneMode::Psm);
+        let channel = e.channel_copy_cycles();
+        assert!(fpm < psm, "fpm {fpm} < psm {psm}");
+        assert!(psm < channel, "psm {psm} < channel {channel}");
+    }
+
+    #[test]
+    fn speedups_in_published_ballpark() {
+        let e = engine();
+        // RowClone paper: 11.6x latency, 74.4x energy for 8 KiB rows.
+        let speedup = e.fpm_speedup();
+        let energy = e.fpm_energy_advantage();
+        assert!(speedup > 5.0, "latency speedup {speedup:.1}");
+        assert!(energy > 40.0, "energy advantage {energy:.1}");
+    }
+
+    #[test]
+    fn psm_energy_exceeds_fpm() {
+        let e = engine();
+        assert!(e.energy_pj(CloneMode::Psm) > e.energy_pj(CloneMode::Fpm));
+    }
+}

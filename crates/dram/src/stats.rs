@@ -1,0 +1,179 @@
+//! Command statistics and energy accounting.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::command::CommandKind;
+
+/// Per-command energy model in picojoules.
+///
+/// Defaults follow the relative magnitudes reported for DDR4 and the
+/// RowClone paper: an in-DRAM copy consumes roughly 74x less energy than
+/// moving the same row over the memory channel (one ACT + row-of-RDs +
+/// writeback), because the data never leaves the chip.
+///
+/// # Example
+///
+/// ```
+/// use dlk_dram::{EnergyModel, CommandKind};
+/// let e = EnergyModel::default();
+/// assert!(e.energy_pj(CommandKind::Aap) < 100.0 * e.energy_pj(CommandKind::Rd));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy of a row activation (pJ).
+    pub act_pj: f64,
+    /// Energy of a precharge (pJ).
+    pub pre_pj: f64,
+    /// Energy of a column read burst (pJ).
+    pub rd_pj: f64,
+    /// Energy of a column write burst (pJ).
+    pub wr_pj: f64,
+    /// Energy of one refresh command (pJ).
+    pub ref_pj: f64,
+    /// Energy of a RowClone AAP copy (pJ). One extra activation on top
+    /// of a normal ACT; no channel transfer.
+    pub aap_pj: f64,
+    /// Background/static power per cycle (pJ/cycle), charged on advance.
+    pub static_pj_per_cycle: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            act_pj: 909.0,
+            pre_pj: 585.0,
+            rd_pj: 470.0,
+            wr_pj: 510.0,
+            ref_pj: 19_000.0,
+            aap_pj: 1_320.0, // two activations back-to-back, no I/O
+            static_pj_per_cycle: 0.08,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Energy in picojoules for one command of the given kind.
+    pub fn energy_pj(&self, kind: CommandKind) -> f64 {
+        match kind {
+            CommandKind::Act => self.act_pj,
+            CommandKind::Pre => self.pre_pj,
+            CommandKind::Rd => self.rd_pj,
+            CommandKind::Wr => self.wr_pj,
+            CommandKind::Ref => self.ref_pj,
+            CommandKind::Aap => self.aap_pj,
+        }
+    }
+
+    /// Energy of copying one row over the memory channel (ACT + reads of
+    /// the whole row + writes back + PRE), used as the RowClone baseline.
+    pub fn channel_copy_pj(&self, row_bytes: usize, burst_bytes: usize) -> f64 {
+        let bursts = row_bytes.div_ceil(burst_bytes) as f64;
+        2.0 * (self.act_pj + self.pre_pj) + bursts * (self.rd_pj + self.wr_pj)
+    }
+}
+
+/// Aggregate statistics of a [`DramDevice`](crate::DramDevice).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Commands issued, bucketed by kind.
+    pub commands: BTreeMap<CommandKind, u64>,
+    /// Total energy consumed, picojoules.
+    pub energy_pj: f64,
+    /// Total cycles elapsed on the device clock.
+    pub cycles: u64,
+    /// Total RowHammer disturbance events (victim-row corruptions).
+    pub disturbances: u64,
+    /// Total bit flips injected into stored data.
+    pub bit_flips: u64,
+    /// Number of row-buffer hits (RD/WR to the already-open row).
+    pub row_buffer_hits: u64,
+    /// Number of row-buffer misses (ACT needed before access).
+    pub row_buffer_misses: u64,
+}
+
+impl DramStats {
+    /// Creates an empty statistics record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one command of `kind`.
+    pub fn record(&mut self, kind: CommandKind, energy_pj: f64) {
+        *self.commands.entry(kind).or_insert(0) += 1;
+        self.energy_pj += energy_pj;
+    }
+
+    /// Count of commands of a given kind.
+    pub fn count(&self, kind: CommandKind) -> u64 {
+        self.commands.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total activations including the two implicit ACTs of each AAP.
+    pub fn total_activations(&self) -> u64 {
+        self.count(CommandKind::Act) + 2 * self.count(CommandKind::Aap)
+    }
+
+    /// Merges another statistics record into this one.
+    pub fn merge(&mut self, other: &DramStats) {
+        for (kind, n) in &other.commands {
+            *self.commands.entry(*kind).or_insert(0) += n;
+        }
+        self.energy_pj += other.energy_pj;
+        self.cycles = self.cycles.max(other.cycles);
+        self.disturbances += other.disturbances;
+        self.bit_flips += other.bit_flips;
+        self.row_buffer_hits += other.row_buffer_hits;
+        self.row_buffer_misses += other.row_buffer_misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut stats = DramStats::new();
+        stats.record(CommandKind::Act, 900.0);
+        stats.record(CommandKind::Act, 900.0);
+        stats.record(CommandKind::Rd, 400.0);
+        assert_eq!(stats.count(CommandKind::Act), 2);
+        assert_eq!(stats.count(CommandKind::Rd), 1);
+        assert_eq!(stats.count(CommandKind::Wr), 0);
+        assert!((stats.energy_pj - 2200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aap_counts_double_activation() {
+        let mut stats = DramStats::new();
+        stats.record(CommandKind::Act, 0.0);
+        stats.record(CommandKind::Aap, 0.0);
+        assert_eq!(stats.total_activations(), 3);
+    }
+
+    #[test]
+    fn rowclone_energy_advantage_over_channel_copy() {
+        // RowClone's headline: ~74x energy reduction for a bulk copy.
+        let e = EnergyModel::default();
+        let channel = e.channel_copy_pj(8192, 64);
+        let ratio = channel / e.aap_pj;
+        assert!(ratio > 50.0, "expected large advantage, got {ratio:.1}x");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = DramStats::new();
+        a.record(CommandKind::Act, 10.0);
+        a.bit_flips = 2;
+        let mut b = DramStats::new();
+        b.record(CommandKind::Act, 5.0);
+        b.record(CommandKind::Ref, 1.0);
+        b.bit_flips = 3;
+        a.merge(&b);
+        assert_eq!(a.count(CommandKind::Act), 2);
+        assert_eq!(a.count(CommandKind::Ref), 1);
+        assert_eq!(a.bit_flips, 5);
+        assert!((a.energy_pj - 16.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the DRAM device invariants.
+
+use proptest::prelude::*;
+
+use dlk_dram::{
+    CommandKind, DramCommand, DramConfig, DramDevice, DramGeometry, RowAddr,
+};
+
+proptest! {
+    /// Any legal ACT→(RD|WR)*→PRE sequence advances the clock
+    /// monotonically and leaves the bank idle.
+    #[test]
+    fn command_sequences_advance_time(accesses in 1usize..8, writes in any::<bool>()) {
+        let mut dram = DramDevice::new(DramConfig::tiny_for_tests());
+        let row = RowAddr::new(0, 0, 3);
+        let mut last = dram.now();
+        dram.issue(DramCommand::Act(row)).unwrap();
+        prop_assert!(dram.now() >= last);
+        last = dram.now();
+        for _ in 0..accesses {
+            let cmd = if writes {
+                DramCommand::Wr { bank: 0, col: 0 }
+            } else {
+                DramCommand::Rd { bank: 0, col: 0 }
+            };
+            dram.issue(cmd).unwrap();
+            prop_assert!(dram.now() >= last);
+            last = dram.now();
+        }
+        dram.issue(DramCommand::Pre(0)).unwrap();
+        prop_assert!(dram.now() > last);
+        prop_assert_eq!(dram.open_row_of(0), None);
+    }
+
+    /// Writing arbitrary data to arbitrary rows always reads back
+    /// identically (functional path).
+    #[test]
+    fn row_data_integrity(
+        bank in 0u16..2,
+        subarray in 0u16..2,
+        row in 0u32..64,
+        seed in any::<u8>(),
+    ) {
+        let mut dram = DramDevice::new(DramConfig::tiny_for_tests());
+        let addr = RowAddr::new(bank, subarray, row);
+        let data: Vec<u8> = (0..64).map(|i| seed.wrapping_add(i)).collect();
+        dram.write_row(addr, &data).unwrap();
+        prop_assert_eq!(dram.read_row(addr).unwrap(), data);
+    }
+
+    /// AAP copies are exact for any source contents and same-subarray
+    /// destination.
+    #[test]
+    fn aap_copies_exactly(src_row in 0u32..32, dst_row in 32u32..64, fill in any::<u8>()) {
+        let mut dram = DramDevice::new(DramConfig::tiny_for_tests());
+        let src = RowAddr::new(1, 1, src_row);
+        let dst = RowAddr::new(1, 1, dst_row);
+        dram.write_row(src, &vec![fill; 64]).unwrap();
+        dram.issue(DramCommand::Aap { src, dst }).unwrap();
+        prop_assert_eq!(dram.read_row(dst).unwrap(), vec![fill; 64]);
+        prop_assert_eq!(dram.read_row(src).unwrap(), vec![fill; 64]);
+    }
+
+    /// Hammering below TRH never corrupts any neighbour, for any
+    /// aggressor position.
+    #[test]
+    fn no_disturbance_below_threshold(row in 2u32..62) {
+        let mut dram = DramDevice::new(DramConfig::tiny_for_tests());
+        let trh = dram.config().hammer.trh;
+        let aggressor = RowAddr::new(0, 0, row);
+        let up = RowAddr::new(0, 0, row - 1);
+        let down = RowAddr::new(0, 0, row + 1);
+        let before_up = dram.read_row(up).unwrap();
+        let before_down = dram.read_row(down).unwrap();
+        for _ in 0..trh - 1 {
+            dram.issue(DramCommand::Act(aggressor)).unwrap();
+            dram.issue(DramCommand::Pre(0)).unwrap();
+        }
+        prop_assert_eq!(dram.read_row(up).unwrap(), before_up);
+        prop_assert_eq!(dram.read_row(down).unwrap(), before_down);
+        prop_assert_eq!(dram.stats().disturbances, 0);
+    }
+
+    /// Energy accounting is additive: total equals the sum over
+    /// command kinds.
+    #[test]
+    fn energy_is_additive(ops in 1usize..20) {
+        let mut dram = DramDevice::new(DramConfig::tiny_for_tests());
+        let row = RowAddr::new(0, 0, 1);
+        for _ in 0..ops {
+            dram.issue(DramCommand::Act(row)).unwrap();
+            dram.issue(DramCommand::Rd { bank: 0, col: 0 }).unwrap();
+            dram.issue(DramCommand::Pre(0)).unwrap();
+        }
+        let energy = dram.config().energy;
+        let expected: f64 = CommandKind::ALL
+            .iter()
+            .map(|&kind| dram.stats().count(kind) as f64 * energy.energy_pj(kind))
+            .sum();
+        prop_assert!((dram.stats().energy_pj - expected).abs() < 1e-6);
+    }
+
+    /// The geometry row-id space is dense: every id below total_rows
+    /// maps to an address and back.
+    #[test]
+    fn row_id_space_is_dense(id in 0u64..256) {
+        let geometry = DramGeometry::tiny();
+        let id = dlk_dram::RowId(id % geometry.total_rows());
+        let addr = geometry.row_addr(id).unwrap();
+        prop_assert_eq!(geometry.row_id(addr), id);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for DRAM-Locker operations.
+
+use std::error::Error;
+use std::fmt;
+
+use dlk_dram::{DramError, RowAddr};
+
+/// Errors returned by DRAM-Locker operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockerError {
+    /// The lock-table's SRAM capacity is exhausted.
+    TableFull {
+        /// Configured capacity in entries.
+        capacity: usize,
+    },
+    /// No free row is available in the subarray for a SWAP.
+    NoFreeRow {
+        /// The subarray that ran out of free rows (bank, subarray).
+        bank: u16,
+        /// Subarray index.
+        subarray: u16,
+    },
+    /// The row is already locked.
+    AlreadyLocked(RowAddr),
+    /// The underlying DRAM device rejected a command.
+    Dram(DramError),
+    /// A physical range did not map onto DRAM rows.
+    BadRange {
+        /// Range start (inclusive).
+        start: u64,
+        /// Range end (exclusive).
+        end: u64,
+    },
+}
+
+impl fmt::Display for LockerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockerError::TableFull { capacity } => {
+                write!(f, "lock-table full ({capacity} entries)")
+            }
+            LockerError::NoFreeRow { bank, subarray } => {
+                write!(f, "no free row available in bank {bank} subarray {subarray}")
+            }
+            LockerError::AlreadyLocked(addr) => write!(f, "row already locked: {addr}"),
+            LockerError::Dram(err) => write!(f, "dram error: {err}"),
+            LockerError::BadRange { start, end } => {
+                write!(f, "invalid physical range [{start:#x}, {end:#x})")
+            }
+        }
+    }
+}
+
+impl Error for LockerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LockerError::Dram(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<DramError> for LockerError {
+    fn from(err: DramError) -> Self {
+        LockerError::Dram(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(LockerError::TableFull { capacity: 7168 }.to_string().contains("7168"));
+        let err = LockerError::NoFreeRow { bank: 2, subarray: 3 };
+        assert!(err.to_string().contains('2') && err.to_string().contains('3'));
+    }
+
+    #[test]
+    fn dram_error_source_chain() {
+        let err = LockerError::from(DramError::InvalidBank(1));
+        assert!(Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,208 @@
+//! The SRAM lock-table.
+//!
+//! Counter-based RowHammer defenses (Graphene, Hydra, TWiCE, ...) keep a
+//! *count table*: per-row activation counters that trigger mitigation on
+//! overflow. DRAM-Locker replaces counting entirely: the lock-table
+//! stores only *membership* — the addresses of rows that must not be
+//! activated. A lookup answers "is this row locked?" in one SRAM access;
+//! there is no counter state to update, saturate or reset.
+
+use std::collections::HashSet;
+
+use dlk_dram::RowId;
+
+use crate::error::LockerError;
+
+/// The lock-table: a capacity-bounded set of locked rows.
+///
+/// # Example
+///
+/// ```
+/// use dlk_locker::LockTable;
+/// use dlk_dram::RowId;
+///
+/// # fn main() -> Result<(), dlk_locker::LockerError> {
+/// let mut table = LockTable::new(1024);
+/// table.lock(RowId(7))?;
+/// assert!(table.is_locked(RowId(7)));
+/// table.unlock(RowId(7));
+/// assert!(!table.is_locked(RowId(7)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LockTable {
+    locked: HashSet<RowId>,
+    capacity: usize,
+    lookups: u64,
+    hits: u64,
+}
+
+impl LockTable {
+    /// Creates a lock-table holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self { locked: HashSet::new(), capacity, lookups: 0, hits: 0 }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of locked rows.
+    pub fn len(&self) -> usize {
+        self.locked.len()
+    }
+
+    /// Whether no rows are locked.
+    pub fn is_empty(&self) -> bool {
+        self.locked.is_empty()
+    }
+
+    /// Locks a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockerError::TableFull`] at capacity. Locking an
+    /// already-locked row is a no-op (idempotent).
+    pub fn lock(&mut self, row: RowId) -> Result<(), LockerError> {
+        if self.locked.contains(&row) {
+            return Ok(());
+        }
+        if self.locked.len() >= self.capacity {
+            return Err(LockerError::TableFull { capacity: self.capacity });
+        }
+        self.locked.insert(row);
+        Ok(())
+    }
+
+    /// Unlocks a row. Returns `true` if it was locked.
+    pub fn unlock(&mut self, row: RowId) -> bool {
+        self.locked.remove(&row)
+    }
+
+    /// Membership check *with* statistics — the hardware lookup on the
+    /// request path. Use [`LockTable::peek`] for introspection that
+    /// should not perturb stats.
+    pub fn is_locked(&mut self, row: RowId) -> bool {
+        self.lookups += 1;
+        let hit = self.locked.contains(&row);
+        if hit {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Membership check without touching statistics.
+    pub fn peek(&self, row: RowId) -> bool {
+        self.locked.contains(&row)
+    }
+
+    /// Total lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that found a locked row.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Iterates over the locked rows (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = RowId> + '_ {
+        self.locked.iter().copied()
+    }
+
+    /// Unlocks everything.
+    pub fn clear(&mut self) {
+        self.locked.clear();
+    }
+
+    /// SRAM bytes consumed at `entry_bytes` per entry.
+    pub fn sram_bytes(&self, entry_bytes: usize) -> usize {
+        self.locked.len() * entry_bytes
+    }
+}
+
+impl Extend<RowId> for LockTable {
+    /// Extends the table, silently stopping at capacity (use
+    /// [`LockTable::lock`] for error reporting).
+    fn extend<T: IntoIterator<Item = RowId>>(&mut self, iter: T) {
+        for row in iter {
+            if self.lock(row).is_err() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_unlock_cycle() {
+        let mut table = LockTable::new(8);
+        assert!(table.is_empty());
+        table.lock(RowId(1)).unwrap();
+        table.lock(RowId(2)).unwrap();
+        assert_eq!(table.len(), 2);
+        assert!(table.is_locked(RowId(1)));
+        assert!(!table.is_locked(RowId(3)));
+        assert!(table.unlock(RowId(1)));
+        assert!(!table.unlock(RowId(1)));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn locking_is_idempotent() {
+        let mut table = LockTable::new(1);
+        table.lock(RowId(5)).unwrap();
+        table.lock(RowId(5)).unwrap(); // no error at capacity: same row
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut table = LockTable::new(2);
+        table.lock(RowId(1)).unwrap();
+        table.lock(RowId(2)).unwrap();
+        let err = table.lock(RowId(3)).unwrap_err();
+        assert_eq!(err, LockerError::TableFull { capacity: 2 });
+    }
+
+    #[test]
+    fn stats_track_lookups_and_hits() {
+        let mut table = LockTable::new(8);
+        table.lock(RowId(1)).unwrap();
+        table.is_locked(RowId(1));
+        table.is_locked(RowId(2));
+        table.peek(RowId(1)); // must not count
+        assert_eq!(table.lookups(), 2);
+        assert_eq!(table.hits(), 1);
+    }
+
+    #[test]
+    fn extend_stops_at_capacity() {
+        let mut table = LockTable::new(3);
+        table.extend((0..10).map(RowId));
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn sram_accounting() {
+        let mut table = LockTable::new(1000);
+        table.extend((0..100).map(RowId));
+        assert_eq!(table.sram_bytes(8), 800);
+    }
+
+    #[test]
+    fn paper_sram_budget_covers_thousands_of_rows() {
+        // 56 KB at 8 B/entry = 7168 lockable rows — plenty for the
+        // adjacent rows of a DNN's vulnerable weights.
+        let capacity = 56 * 1024 / 8;
+        let mut table = LockTable::new(capacity);
+        table.extend((0..capacity as u64).map(RowId));
+        assert_eq!(table.len(), 7168);
+    }
+}

@@ -1,0 +1,182 @@
+//! The instruction Sequence.
+//!
+//! DRAM-Locker buffers incoming R/W instructions in a Sequence. When an
+//! instruction targets a locked row it is *skipped* in place (the paper:
+//! "no matter how many requests the attacker sends, they will be invalid
+//! and the instructions will not be executed"). Unlock operations are
+//! realized by *inserting* the three Row Copy µOps of a SWAP ahead of
+//! the blocked instruction.
+
+use std::collections::VecDeque;
+
+use dlk_dram::RowId;
+
+use crate::isa::Instruction;
+
+/// One entry in the Sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SequenceEntry {
+    /// A read/write instruction targeting a DRAM row.
+    ReadWrite {
+        /// Target row.
+        row: RowId,
+        /// `true` for writes.
+        is_write: bool,
+    },
+    /// A DRAM-Locker µOp (row copy / control).
+    Micro(Instruction),
+}
+
+/// The buffered instruction stream with skip accounting.
+///
+/// # Example
+///
+/// ```
+/// use dlk_locker::{Sequence, SequenceEntry};
+/// use dlk_dram::RowId;
+///
+/// let mut seq = Sequence::new();
+/// seq.push_rw(RowId(4), false);
+/// assert_eq!(seq.len(), 1);
+/// let entry = seq.pop().unwrap();
+/// assert!(matches!(entry, SequenceEntry::ReadWrite { .. }));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Sequence {
+    entries: VecDeque<SequenceEntry>,
+    skipped: u64,
+    executed_rw: u64,
+    executed_micro: u64,
+}
+
+impl Sequence {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends a read/write instruction.
+    pub fn push_rw(&mut self, row: RowId, is_write: bool) {
+        self.entries.push_back(SequenceEntry::ReadWrite { row, is_write });
+    }
+
+    /// Appends a µOp.
+    pub fn push_micro(&mut self, instruction: Instruction) {
+        self.entries.push_back(SequenceEntry::Micro(instruction));
+    }
+
+    /// Inserts a µOp *at the front* (ahead of blocked instructions) —
+    /// how SWAP copies jump the queue to unlock a row.
+    pub fn insert_micro_front(&mut self, instruction: Instruction) {
+        self.entries.push_front(SequenceEntry::Micro(instruction));
+    }
+
+    /// Pops the next entry, counting it as executed.
+    pub fn pop(&mut self) -> Option<SequenceEntry> {
+        let entry = self.entries.pop_front()?;
+        match entry {
+            SequenceEntry::ReadWrite { .. } => self.executed_rw += 1,
+            SequenceEntry::Micro(_) => self.executed_micro += 1,
+        }
+        Some(entry)
+    }
+
+    /// Pops the next entry but marks it skipped (locked-row deny).
+    pub fn skip(&mut self) -> Option<SequenceEntry> {
+        let entry = self.entries.pop_front()?;
+        self.skipped += 1;
+        Some(entry)
+    }
+
+    /// Drops every queued R/W touching `row`, marking them skipped —
+    /// the bulk discard of an attacker's pending hammer burst.
+    pub fn skip_all_for(&mut self, row: RowId) -> u64 {
+        let before = self.entries.len();
+        self.entries.retain(|entry| {
+            !matches!(entry, SequenceEntry::ReadWrite { row: r, .. } if *r == row)
+        });
+        let dropped = (before - self.entries.len()) as u64;
+        self.skipped += dropped;
+        dropped
+    }
+
+    /// Instructions skipped so far.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// R/W instructions executed so far.
+    pub fn executed_rw(&self) -> u64 {
+        self.executed_rw
+    }
+
+    /// µOps executed so far.
+    pub fn executed_micro(&self) -> u64 {
+        self.executed_micro
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut seq = Sequence::new();
+        seq.push_rw(RowId(1), false);
+        seq.push_rw(RowId(2), true);
+        assert!(matches!(
+            seq.pop(),
+            Some(SequenceEntry::ReadWrite { row: RowId(1), is_write: false })
+        ));
+        assert!(matches!(
+            seq.pop(),
+            Some(SequenceEntry::ReadWrite { row: RowId(2), is_write: true })
+        ));
+        assert_eq!(seq.pop(), None);
+        assert_eq!(seq.executed_rw(), 2);
+    }
+
+    #[test]
+    fn micro_front_insertion_jumps_queue() {
+        let mut seq = Sequence::new();
+        seq.push_rw(RowId(1), false);
+        seq.insert_micro_front(Instruction::Copy { dst: 0, src: 1 });
+        assert!(matches!(seq.pop(), Some(SequenceEntry::Micro(_))));
+        assert_eq!(seq.executed_micro(), 1);
+    }
+
+    #[test]
+    fn skip_counts_separately() {
+        let mut seq = Sequence::new();
+        seq.push_rw(RowId(1), false);
+        seq.push_rw(RowId(2), false);
+        seq.skip();
+        seq.pop();
+        assert_eq!(seq.skipped(), 1);
+        assert_eq!(seq.executed_rw(), 1);
+    }
+
+    #[test]
+    fn skip_all_for_drops_matching_rows() {
+        let mut seq = Sequence::new();
+        for _ in 0..5 {
+            seq.push_rw(RowId(9), false);
+        }
+        seq.push_rw(RowId(1), false);
+        let dropped = seq.skip_all_for(RowId(9));
+        assert_eq!(dropped, 5);
+        assert_eq!(seq.len(), 1);
+        assert_eq!(seq.skipped(), 5);
+    }
+}

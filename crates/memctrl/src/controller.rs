@@ -1,0 +1,442 @@
+//! The memory controller.
+//!
+//! Accepts [`MemRequest`]s, schedules them, consults the installed
+//! [`DefenseHook`], and drives the [`DramDevice`]. Denied requests are
+//! *skipped*: no DRAM command is issued and only the hook's check
+//! latency is charged — matching the paper's observation that invalid
+//! (locked-row) instructions cost nothing downstream.
+
+use serde::{Deserialize, Serialize};
+
+use dlk_dram::{DramConfig, DramDevice, DramGeometry, RowAddr};
+
+use crate::error::MemCtrlError;
+use crate::interpose::{DefenseHook, HookAction, NoDefense};
+use crate::mapping::{AddressMapper, MappingScheme};
+use crate::request::{MemRequest, RequestKind};
+use crate::scheduler::{RequestQueue, SchedulingPolicy};
+
+/// Configuration of a [`MemoryController`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemCtrlConfig {
+    /// DRAM device configuration.
+    pub dram: DramConfig,
+    /// Address interleaving scheme.
+    pub scheme: MappingScheme,
+    /// Request scheduling policy.
+    pub policy: SchedulingPolicy,
+}
+
+impl Default for MemCtrlConfig {
+    fn default() -> Self {
+        Self {
+            dram: DramConfig::default(),
+            scheme: MappingScheme::BankSequential,
+            policy: SchedulingPolicy::Fcfs,
+        }
+    }
+}
+
+impl MemCtrlConfig {
+    /// Small configuration for unit tests.
+    pub fn tiny_for_tests() -> Self {
+        Self {
+            dram: DramConfig::tiny_for_tests(),
+            scheme: MappingScheme::BankSequential,
+            policy: SchedulingPolicy::Fcfs,
+        }
+    }
+}
+
+/// A served (or skipped) request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedRequest {
+    /// The original request.
+    pub request: MemRequest,
+    /// `true` if the defense denied the access (skipped instruction).
+    pub denied: bool,
+    /// Cycles from de-queue to completion, including hook latency.
+    pub latency: u64,
+    /// Data returned for reads that were served.
+    pub data: Option<Vec<u8>>,
+}
+
+/// Aggregate controller statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Requests served against DRAM.
+    pub served: u64,
+    /// Requests denied by the defense hook.
+    pub denied: u64,
+    /// Requests redirected by the defense hook.
+    pub redirected: u64,
+    /// Untrusted requests rejected by OS page protection (virtual
+    /// memory isolation — before any hardware defense is consulted).
+    pub os_faults: u64,
+    /// Reads served.
+    pub reads: u64,
+    /// Writes served.
+    pub writes: u64,
+    /// Sum of request latencies in cycles.
+    pub total_latency: u64,
+}
+
+impl ControllerStats {
+    /// Mean latency per completed request in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        let total = self.served + self.denied;
+        if total == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / total as f64
+        }
+    }
+}
+
+/// The memory controller: queue + mapper + defense hook + DRAM device.
+///
+/// # Example
+///
+/// ```
+/// use dlk_memctrl::{MemoryController, MemCtrlConfig, MemRequest};
+///
+/// # fn main() -> Result<(), dlk_memctrl::MemCtrlError> {
+/// let mut ctrl = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+/// ctrl.submit(MemRequest::write(0, vec![42]));
+/// ctrl.submit(MemRequest::read(0, 1));
+/// let done = ctrl.run_to_completion()?;
+/// assert_eq!(done[1].data.as_deref(), Some(&[42u8][..]));
+/// # Ok(())
+/// # }
+/// ```
+pub struct MemoryController {
+    dram: DramDevice,
+    mapper: AddressMapper,
+    queue: RequestQueue,
+    hook: Box<dyn DefenseHook>,
+    stats: ControllerStats,
+    /// Physical byte ranges untrusted processes cannot touch (the OS's
+    /// virtual-memory isolation of victim-owned pages).
+    os_protected: Vec<(u64, u64)>,
+}
+
+impl std::fmt::Debug for MemoryController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryController")
+            .field("mapper", &self.mapper)
+            .field("pending", &self.queue.len())
+            .field("hook", &self.hook.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl MemoryController {
+    /// Creates a controller with no defense installed.
+    pub fn new(config: MemCtrlConfig) -> Self {
+        Self::with_hook(config, Box::new(NoDefense))
+    }
+
+    /// Creates a controller with a defense hook installed.
+    pub fn with_hook(config: MemCtrlConfig, hook: Box<dyn DefenseHook>) -> Self {
+        let dram = DramDevice::new(config.dram);
+        let mapper = AddressMapper::new(config.dram.geometry, config.scheme);
+        Self {
+            dram,
+            mapper,
+            queue: RequestQueue::new(config.policy),
+            hook,
+            stats: ControllerStats::default(),
+            os_protected: Vec::new(),
+        }
+    }
+
+    /// Marks the physical byte range `[start, end)` as owned by the
+    /// victim: untrusted requests inside it fault at the OS level
+    /// (page permissions), before any hardware defense is consulted.
+    /// An attacker can therefore only *activate* rows it owns — the
+    /// premise of the paper's MLaaS threat model.
+    pub fn os_protect_range(&mut self, start: u64, end: u64) {
+        self.os_protected.push((start, end));
+    }
+
+    fn os_faults(&self, request: &MemRequest) -> bool {
+        request.untrusted
+            && self.os_protected.iter().any(|&(start, end)| {
+                request.addr < end && request.addr + request.len as u64 > start
+            })
+    }
+
+    /// Replaces the defense hook, returning the old one.
+    pub fn set_hook(&mut self, hook: Box<dyn DefenseHook>) -> Box<dyn DefenseHook> {
+        std::mem::replace(&mut self.hook, hook)
+    }
+
+    /// The installed hook.
+    pub fn hook(&self) -> &dyn DefenseHook {
+        self.hook.as_ref()
+    }
+
+    /// Mutable access to the installed hook (e.g. to inspect or update
+    /// a DRAM-Locker lock table mid-run).
+    pub fn hook_mut(&mut self) -> &mut dyn DefenseHook {
+        self.hook.as_mut()
+    }
+
+    /// The DRAM geometry.
+    pub fn geometry(&self) -> DramGeometry {
+        *self.dram.geometry()
+    }
+
+    /// The address mapper.
+    pub fn mapper(&self) -> &AddressMapper {
+        &self.mapper
+    }
+
+    /// The DRAM device (read-only).
+    pub fn dram(&self) -> &DramDevice {
+        &self.dram
+    }
+
+    /// Mutable access to the DRAM device (fault injection, inspection).
+    pub fn dram_mut(&mut self) -> &mut DramDevice {
+        &mut self.dram
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> &ControllerStats {
+        &self.stats
+    }
+
+    /// Number of queued requests.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueues a request.
+    pub fn submit(&mut self, request: MemRequest) {
+        match self.mapper.to_dram(request.addr) {
+            Ok((row, _)) => self.queue.push_mapped(request, row),
+            // Defer the error to service time so the caller sees it.
+            Err(_) => self.queue.push(request),
+        }
+    }
+
+    /// Serves the next scheduled request, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unmappable addresses or row-spanning
+    /// requests; the DRAM device state is unchanged in that case.
+    pub fn step(&mut self) -> Result<Option<CompletedRequest>, MemCtrlError> {
+        let banks: Vec<Option<RowAddr>> =
+            (0..self.geometry().banks).map(|b| self.dram.open_row_of(b)).collect();
+        let Some(request) = self.queue.pop(|bank| banks.get(bank as usize).copied().flatten())
+        else {
+            return Ok(None);
+        };
+        self.service(request).map(Some)
+    }
+
+    /// Serves one request immediately, bypassing the queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unmappable addresses or row-spanning
+    /// requests.
+    pub fn service(&mut self, request: MemRequest) -> Result<CompletedRequest, MemCtrlError> {
+        if self.os_faults(&request) {
+            self.stats.os_faults += 1;
+            return Ok(CompletedRequest { request, denied: true, latency: 0, data: None });
+        }
+        let (row, col) = self.mapper.to_dram(request.addr)?;
+        if col + request.len > self.geometry().row_bytes {
+            return Err(MemCtrlError::SpansRowBoundary {
+                addr: request.addr,
+                len: request.len,
+            });
+        }
+        let mut latency = self.hook.check_latency();
+        let action = self.hook.before_access(&request, row, &mut self.dram);
+        let (row, col) = match action {
+            HookAction::Allow => (row, col),
+            HookAction::Deny => {
+                self.stats.denied += 1;
+                self.stats.total_latency += latency;
+                self.dram.advance(latency);
+                return Ok(CompletedRequest { request, denied: true, latency, data: None });
+            }
+            HookAction::Redirect(new_row) => {
+                self.stats.redirected += 1;
+                (new_row, col)
+            }
+        };
+        let will_activate = self.dram.open_row_of(row.bank) != Some(row);
+        let data = match request.kind {
+            RequestKind::Read => {
+                let (data, cycles) = self.dram.access_read(row, col, request.len)?;
+                latency += cycles;
+                self.stats.reads += 1;
+                Some(data)
+            }
+            RequestKind::Write => {
+                latency += self.dram.access_write(row, col, &request.payload)?;
+                self.stats.writes += 1;
+                None
+            }
+        };
+        if will_activate {
+            self.hook.on_activate(row, &mut self.dram);
+        }
+        self.stats.served += 1;
+        self.stats.total_latency += latency;
+        Ok(CompletedRequest { request, denied: false, latency, data })
+    }
+
+    /// Serves every queued request in scheduling order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing request.
+    pub fn run_to_completion(&mut self) -> Result<Vec<CompletedRequest>, MemCtrlError> {
+        let mut done = Vec::with_capacity(self.queue.len());
+        while let Some(completed) = self.step()? {
+            done.push(completed);
+        }
+        Ok(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut ctrl = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+        ctrl.submit(MemRequest::write(0x10, vec![9, 8, 7]));
+        ctrl.submit(MemRequest::read(0x10, 3));
+        let done = ctrl.run_to_completion().unwrap();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[1].data.as_deref(), Some(&[9u8, 8, 7][..]));
+        assert_eq!(ctrl.stats().served, 2);
+        assert!(ctrl.stats().mean_latency() > 0.0);
+    }
+
+    #[test]
+    fn row_spanning_request_rejected() {
+        let mut ctrl = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+        let row_bytes = ctrl.geometry().row_bytes;
+        let req = MemRequest::read(row_bytes as u64 - 1, 2);
+        assert!(matches!(
+            ctrl.service(req),
+            Err(MemCtrlError::SpansRowBoundary { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_address_rejected() {
+        let mut ctrl = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+        let capacity = ctrl.mapper().capacity();
+        ctrl.submit(MemRequest::read(capacity, 1));
+        assert!(ctrl.run_to_completion().is_err());
+    }
+
+    struct DenyAll;
+    impl DefenseHook for DenyAll {
+        fn before_access(
+            &mut self,
+            _request: &MemRequest,
+            _target: RowAddr,
+            _dram: &mut DramDevice,
+        ) -> HookAction {
+            HookAction::Deny
+        }
+        fn check_latency(&self) -> u64 {
+            3
+        }
+        fn name(&self) -> &str {
+            "deny-all"
+        }
+    }
+
+    #[test]
+    fn denied_requests_skip_dram() {
+        let mut ctrl =
+            MemoryController::with_hook(MemCtrlConfig::tiny_for_tests(), Box::new(DenyAll));
+        ctrl.submit(MemRequest::read(0, 1));
+        let done = ctrl.run_to_completion().unwrap();
+        assert!(done[0].denied);
+        assert_eq!(done[0].latency, 3);
+        assert_eq!(ctrl.stats().denied, 1);
+        assert_eq!(ctrl.stats().served, 0);
+        assert_eq!(ctrl.dram().stats().total_activations(), 0);
+    }
+
+    struct RedirectTo(RowAddr);
+    impl DefenseHook for RedirectTo {
+        fn before_access(
+            &mut self,
+            _request: &MemRequest,
+            _target: RowAddr,
+            _dram: &mut DramDevice,
+        ) -> HookAction {
+            HookAction::Redirect(self.0)
+        }
+        fn name(&self) -> &str {
+            "redirect"
+        }
+    }
+
+    #[test]
+    fn redirected_request_reads_other_row_same_column() {
+        let mut ctrl = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+        let row_bytes = ctrl.geometry().row_bytes as u64;
+        // Write 0xEE at row 4, column 0x10.
+        ctrl.submit(MemRequest::write(4 * row_bytes + 0x10, vec![0xEE]));
+        ctrl.run_to_completion().unwrap();
+        ctrl.set_hook(Box::new(RedirectTo(RowAddr::new(0, 0, 4))));
+        // Read row 0 column 0x10 — redirected to row 4, same column.
+        let done = ctrl.service(MemRequest::read(0x10, 1)).unwrap();
+        assert_eq!(done.data.as_deref(), Some(&[0xEEu8][..]));
+        assert_eq!(ctrl.stats().redirected, 1);
+    }
+
+    struct CountActs(std::rc::Rc<std::cell::Cell<u64>>);
+    impl DefenseHook for CountActs {
+        fn before_access(
+            &mut self,
+            _request: &MemRequest,
+            _target: RowAddr,
+            _dram: &mut DramDevice,
+        ) -> HookAction {
+            HookAction::Allow
+        }
+        fn on_activate(&mut self, _row: RowAddr, _dram: &mut DramDevice) {
+            self.0.set(self.0.get() + 1);
+        }
+        fn name(&self) -> &str {
+            "count"
+        }
+    }
+
+    #[test]
+    fn hook_observes_activations_not_row_hits() {
+        let acts = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut ctrl = MemoryController::with_hook(
+            MemCtrlConfig::tiny_for_tests(),
+            Box::new(CountActs(acts.clone())),
+        );
+        // Same row twice: one activation, one row-buffer hit.
+        ctrl.submit(MemRequest::read(0, 1));
+        ctrl.submit(MemRequest::read(8, 1));
+        ctrl.run_to_completion().unwrap();
+        assert_eq!(acts.get(), 1);
+    }
+
+    #[test]
+    fn debug_impl_mentions_hook_name() {
+        let ctrl = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+        assert!(format!("{ctrl:?}").contains("none"));
+    }
+}

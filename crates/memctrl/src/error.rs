@@ -1,0 +1,82 @@
+//! Error type for memory controller operations.
+
+use std::error::Error;
+use std::fmt;
+
+use dlk_dram::DramError;
+
+/// Errors returned by the memory controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemCtrlError {
+    /// The underlying DRAM device rejected a command.
+    Dram(DramError),
+    /// A physical address falls outside the mapped DRAM capacity.
+    AddressOutOfRange {
+        /// The offending physical byte address.
+        addr: u64,
+        /// Total mapped capacity in bytes.
+        capacity: u64,
+    },
+    /// A virtual address has no valid page-table entry.
+    TranslationFault {
+        /// The offending virtual address.
+        vaddr: u64,
+    },
+    /// A request spans a row boundary (requests must fit in one row).
+    SpansRowBoundary {
+        /// The request's physical byte address.
+        addr: u64,
+        /// The request length in bytes.
+        len: usize,
+    },
+}
+
+impl fmt::Display for MemCtrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemCtrlError::Dram(err) => write!(f, "dram error: {err}"),
+            MemCtrlError::AddressOutOfRange { addr, capacity } => {
+                write!(f, "physical address {addr:#x} outside capacity {capacity:#x}")
+            }
+            MemCtrlError::TranslationFault { vaddr } => {
+                write!(f, "no valid translation for virtual address {vaddr:#x}")
+            }
+            MemCtrlError::SpansRowBoundary { addr, len } => {
+                write!(f, "request at {addr:#x} of {len} bytes spans a row boundary")
+            }
+        }
+    }
+}
+
+impl Error for MemCtrlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MemCtrlError::Dram(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<DramError> for MemCtrlError {
+    fn from(err: DramError) -> Self {
+        MemCtrlError::Dram(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_dram_error_with_source() {
+        let err = MemCtrlError::from(DramError::InvalidBank(7));
+        assert!(err.to_string().contains("bank"));
+        assert!(Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn translation_fault_displays_hex() {
+        let err = MemCtrlError::TranslationFault { vaddr: 0xdead };
+        assert!(err.to_string().contains("0xdead"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # dlk-memctrl — memory controller for the DRAM-Locker reproduction
+//!
+//! Sits between workloads (DNN inference, attackers) and the
+//! [`dlk_dram`] device:
+//!
+//! - [`request`]: read/write memory requests addressed by physical byte
+//!   address;
+//! - [`mapping`]: physical-address-to-DRAM-coordinate mapping schemes;
+//! - [`scheduler`]: FCFS and FR-FCFS request scheduling;
+//! - [`pagetable`]: a DRAM-resident page table — PTEs live in DRAM rows,
+//!   so RowHammer flips in those rows corrupt virtual-to-physical
+//!   translation (the Page Table Attack surface);
+//! - [`interpose`]: the [`DefenseHook`] trait that lets defenses such as
+//!   DRAM-Locker allow / deny / redirect accesses and observe
+//!   activations;
+//! - [`controller`]: the [`MemoryController`] tying it together.
+//!
+//! ## Example
+//!
+//! ```
+//! use dlk_memctrl::{MemoryController, MemCtrlConfig, MemRequest};
+//!
+//! # fn main() -> Result<(), dlk_memctrl::MemCtrlError> {
+//! let mut ctrl = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+//! ctrl.submit(MemRequest::write(0x40, vec![1, 2, 3]));
+//! ctrl.submit(MemRequest::read(0x40, 3));
+//! let done = ctrl.run_to_completion()?;
+//! assert_eq!(done[1].data.as_deref(), Some(&[1u8, 2, 3][..]));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod controller;
+pub mod error;
+pub mod interpose;
+pub mod mapping;
+pub mod pagetable;
+pub mod request;
+pub mod scheduler;
+pub mod trace;
+
+pub use controller::{CompletedRequest, ControllerStats, MemCtrlConfig, MemoryController};
+pub use error::MemCtrlError;
+pub use interpose::{DefenseHook, HookAction, NoDefense};
+pub use mapping::{AddressMapper, MappingScheme};
+pub use pagetable::{PageTable, PageTableConfig, Pte, VirtAddr};
+pub use request::{MemRequest, RequestKind};
+pub use scheduler::{RequestQueue, SchedulingPolicy};
+pub use trace::{Trace, TraceOp};

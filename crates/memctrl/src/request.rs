@@ -1,0 +1,121 @@
+//! Memory requests.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Kind of memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Read `len` bytes.
+    Read,
+    /// Write the attached payload.
+    Write,
+}
+
+/// A memory request addressed by physical byte address.
+///
+/// # Example
+///
+/// ```
+/// use dlk_memctrl::MemRequest;
+/// let write = MemRequest::write(0x1000, vec![0xFF; 8]);
+/// let read = MemRequest::read(0x1000, 8);
+/// assert_ne!(write.id, read.id);
+/// assert_eq!(read.len, 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Unique, monotonically increasing request id.
+    pub id: u64,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// Physical byte address.
+    pub addr: u64,
+    /// Number of bytes to read or write.
+    pub len: usize,
+    /// Payload for writes (empty for reads).
+    pub payload: Vec<u8>,
+    /// `true` if the request was issued by an untrusted process
+    /// (attacker-controlled) — defenses may use this only for
+    /// accounting; DRAM-Locker itself never needs it (it denies by
+    /// address, not by origin).
+    pub untrusted: bool,
+}
+
+impl MemRequest {
+    /// Creates a read request of `len` bytes at `addr`.
+    pub fn read(addr: u64, len: usize) -> Self {
+        Self {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            kind: RequestKind::Read,
+            addr,
+            len,
+            payload: Vec::new(),
+            untrusted: false,
+        }
+    }
+
+    /// Creates a write request with the given payload.
+    pub fn write(addr: u64, payload: Vec<u8>) -> Self {
+        Self {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            kind: RequestKind::Write,
+            addr,
+            len: payload.len(),
+            payload,
+            untrusted: false,
+        }
+    }
+
+    /// Marks the request as attacker-issued.
+    pub fn untrusted(mut self) -> Self {
+        self.untrusted = true;
+        self
+    }
+}
+
+impl fmt::Display for MemRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            RequestKind::Read => "R",
+            RequestKind::Write => "W",
+        };
+        write!(f, "{kind}#{} {:#x}+{}", self.id, self.addr, self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let a = MemRequest::read(0, 1);
+        let b = MemRequest::read(0, 1);
+        assert!(b.id > a.id);
+    }
+
+    #[test]
+    fn write_captures_payload_len() {
+        let req = MemRequest::write(0x80, vec![1, 2, 3, 4]);
+        assert_eq!(req.len, 4);
+        assert_eq!(req.kind, RequestKind::Write);
+    }
+
+    #[test]
+    fn untrusted_flag() {
+        let req = MemRequest::read(0, 1).untrusted();
+        assert!(req.untrusted);
+        assert!(!MemRequest::read(0, 1).untrusted);
+    }
+
+    #[test]
+    fn display_shows_kind_and_addr() {
+        let req = MemRequest::read(0x40, 8);
+        let text = req.to_string();
+        assert!(text.starts_with('R') && text.contains("0x40"));
+    }
+}

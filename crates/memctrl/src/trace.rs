@@ -1,0 +1,209 @@
+//! Request traces: generation and replay.
+//!
+//! Traces model the workloads that drive the evaluation — a victim's
+//! DNN weight reads, background traffic, and attacker hammer loops. A
+//! hammer loop alternates between two rows of the same bank so every
+//! access conflicts in the row buffer and forces an ACT, the classic
+//! double-sided-free hammer pattern.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::controller::{CompletedRequest, MemoryController};
+use crate::error::MemCtrlError;
+use crate::request::MemRequest;
+
+/// One operation in a trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceOp {
+    /// Read `len` bytes at `addr`.
+    Read {
+        /// Physical byte address.
+        addr: u64,
+        /// Bytes to read.
+        len: usize,
+    },
+    /// Write `payload` at `addr`.
+    Write {
+        /// Physical byte address.
+        addr: u64,
+        /// Bytes to write.
+        payload: Vec<u8>,
+    },
+}
+
+impl TraceOp {
+    fn to_request(&self, untrusted: bool) -> MemRequest {
+        let req = match self {
+            TraceOp::Read { addr, len } => MemRequest::read(*addr, *len),
+            TraceOp::Write { addr, payload } => MemRequest::write(*addr, payload.clone()),
+        };
+        if untrusted {
+            req.untrusted()
+        } else {
+            req
+        }
+    }
+}
+
+/// A sequence of memory operations.
+///
+/// # Example
+///
+/// ```
+/// use dlk_memctrl::Trace;
+/// let trace = Trace::sequential_reads(0, 8, 4, 16);
+/// assert_eq!(trace.len(), 16);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    ops: Vec<TraceOp>,
+    /// Whether replayed requests are marked attacker-issued.
+    pub untrusted: bool,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations.
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: TraceOp) {
+        self.ops.push(op);
+    }
+
+    /// `count` reads of `len` bytes each, starting at `base`, advancing
+    /// by `stride` bytes.
+    pub fn sequential_reads(base: u64, stride: u64, len: usize, count: usize) -> Self {
+        let ops = (0..count)
+            .map(|i| TraceOp::Read { addr: base + i as u64 * stride, len })
+            .collect();
+        Self { ops, untrusted: false }
+    }
+
+    /// `count` uniformly random reads of `len` bytes inside
+    /// `[0, capacity - len]`, deterministic for a given `seed`.
+    pub fn random_reads(capacity: u64, len: usize, count: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ops = (0..count)
+            .map(|_| TraceOp::Read { addr: rng.random_range(0..capacity - len as u64), len })
+            .collect();
+        Self { ops, untrusted: false }
+    }
+
+    /// A hammer loop: `iterations` alternating 1-byte reads of two
+    /// addresses (put them in the same bank, different rows, to force a
+    /// row-buffer conflict and thus an ACT per access).
+    pub fn hammer_pair(addr_a: u64, addr_b: u64, iterations: usize) -> Self {
+        let mut ops = Vec::with_capacity(iterations * 2);
+        for _ in 0..iterations {
+            ops.push(TraceOp::Read { addr: addr_a, len: 1 });
+            ops.push(TraceOp::Read { addr: addr_b, len: 1 });
+        }
+        Self { ops, untrusted: true }
+    }
+
+    /// Replays the trace through a controller, returning completions.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first request the controller rejects.
+    pub fn replay(
+        &self,
+        controller: &mut MemoryController,
+    ) -> Result<Vec<CompletedRequest>, MemCtrlError> {
+        let mut done = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            done.push(controller.service(op.to_request(self.untrusted))?);
+        }
+        Ok(done)
+    }
+}
+
+impl Extend<TraceOp> for Trace {
+    fn extend<T: IntoIterator<Item = TraceOp>>(&mut self, iter: T) {
+        self.ops.extend(iter);
+    }
+}
+
+impl FromIterator<TraceOp> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceOp>>(iter: T) -> Self {
+        Self { ops: iter.into_iter().collect(), untrusted: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::MemCtrlConfig;
+
+    #[test]
+    fn sequential_reads_layout() {
+        let trace = Trace::sequential_reads(100, 10, 2, 3);
+        assert_eq!(
+            trace.ops(),
+            &[
+                TraceOp::Read { addr: 100, len: 2 },
+                TraceOp::Read { addr: 110, len: 2 },
+                TraceOp::Read { addr: 120, len: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn random_reads_are_deterministic_per_seed() {
+        let a = Trace::random_reads(1 << 16, 4, 20, 7);
+        let b = Trace::random_reads(1 << 16, 4, 20, 7);
+        let c = Trace::random_reads(1 << 16, 4, 20, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hammer_pair_forces_activations() {
+        let mut ctrl = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+        let row_bytes = ctrl.geometry().row_bytes as u64;
+        // Two rows in the same bank/subarray (BankSequential mapping).
+        let trace = Trace::hammer_pair(10 * row_bytes, 12 * row_bytes, 50);
+        let done = trace.replay(&mut ctrl).unwrap();
+        assert_eq!(done.len(), 100);
+        // Every access after the first misses the row buffer.
+        assert_eq!(ctrl.dram().stats().row_buffer_misses, 100);
+        assert!(done.iter().all(|c| c.request.untrusted));
+    }
+
+    #[test]
+    fn replay_roundtrips_data() {
+        let mut ctrl = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+        let mut trace = Trace::new();
+        trace.push(TraceOp::Write { addr: 5, payload: vec![1, 2] });
+        trace.push(TraceOp::Read { addr: 5, len: 2 });
+        let done = trace.replay(&mut ctrl).unwrap();
+        assert_eq!(done[1].data.as_deref(), Some(&[1u8, 2][..]));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let trace: Trace =
+            (0..4).map(|i| TraceOp::Read { addr: i * 8, len: 1 }).collect();
+        assert_eq!(trace.len(), 4);
+        assert!(!trace.untrusted);
+    }
+}

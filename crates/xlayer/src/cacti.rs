@@ -1,0 +1,162 @@
+//! An analytical SRAM/CAM/DRAM array model (the CACTI + Design
+//! Compiler stand-in).
+//!
+//! Latency, energy and area follow the standard first-order scaling
+//! laws: access time grows with the logarithm of capacity (decoder
+//! depth) plus a wire term growing with its square root; per-access
+//! energy grows with word-line/bit-line length; area is cell count
+//! times a per-technology cell size (6T SRAM ≈ 146 F², ternary CAM ≈
+//! 340 F², DRAM ≈ 6 F²; F = 45 nm). Constants are tuned to the usual
+//! 45 nm corner figures (a 56 KB SRAM reads in ~1 ns).
+
+use serde::{Deserialize, Serialize};
+
+/// Memory array technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArrayKind {
+    /// 6T SRAM.
+    Sram,
+    /// Ternary CAM.
+    Cam,
+    /// 1T1C DRAM.
+    Dram,
+}
+
+impl ArrayKind {
+    /// Cell size in F² at the model's technology node.
+    pub fn cell_f2(&self) -> f64 {
+        match self {
+            ArrayKind::Sram => 146.0,
+            ArrayKind::Cam => 340.0,
+            ArrayKind::Dram => 6.0,
+        }
+    }
+
+    /// Base access latency in nanoseconds for a 1 KB array.
+    fn base_latency_ns(&self) -> f64 {
+        match self {
+            ArrayKind::Sram => 0.35,
+            ArrayKind::Cam => 0.55,
+            ArrayKind::Dram => 8.0,
+        }
+    }
+
+    /// Base access energy in picojoules for a 1 KB array.
+    fn base_energy_pj(&self) -> f64 {
+        match self {
+            ArrayKind::Sram => 0.6,
+            ArrayKind::Cam => 2.4,
+            ArrayKind::Dram => 18.0,
+        }
+    }
+}
+
+/// One modeled array.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrayModel {
+    /// Technology.
+    pub kind: ArrayKind,
+    /// Capacity in bytes.
+    pub bytes: u64,
+    /// Access latency, ns.
+    pub access_ns: f64,
+    /// Per-access energy, pJ.
+    pub access_pj: f64,
+    /// Area, mm².
+    pub area_mm2: f64,
+}
+
+/// The analytical model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CactiModel {
+    /// Feature size in nanometers.
+    pub feature_nm: f64,
+}
+
+impl Default for CactiModel {
+    fn default() -> Self {
+        Self { feature_nm: 45.0 }
+    }
+}
+
+impl CactiModel {
+    /// Creates the 45 nm model used throughout the paper.
+    pub fn nm45() -> Self {
+        Self::default()
+    }
+
+    /// Models an array of `bytes` capacity in the given technology.
+    pub fn array(&self, kind: ArrayKind, bytes: u64) -> ArrayModel {
+        let kb = (bytes.max(1) as f64 / 1024.0).max(1.0);
+        // Decoder term: log2 of capacity; wire term: sqrt of capacity.
+        let access_ns =
+            kind.base_latency_ns() * (1.0 + 0.12 * kb.log2() + 0.015 * kb.sqrt());
+        let access_pj = kind.base_energy_pj() * (1.0 + 0.25 * kb.sqrt());
+        let f_m = self.feature_nm * 1e-9;
+        let cell_m2 = kind.cell_f2() * f_m * f_m;
+        let area_mm2 = bytes as f64 * 8.0 * cell_m2 * 1e6 * 1.35; // 35% periphery
+        ArrayModel { kind, bytes, access_ns, access_pj, area_mm2 }
+    }
+
+    /// The DRAM-Locker lock-table: 56 KB of SRAM.
+    pub fn lock_table(&self) -> ArrayModel {
+        self.array(ArrayKind::Sram, 56 * 1024)
+    }
+
+    /// Area of an added structure as a percentage of a DRAM die of
+    /// `die_bytes` capacity.
+    pub fn area_overhead_pct(&self, added: &ArrayModel, die_bytes: u64) -> f64 {
+        let die = self.array(ArrayKind::Dram, die_bytes);
+        added.area_mm2 / die.area_mm2 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_arrays_are_slower_and_hungrier() {
+        let model = CactiModel::nm45();
+        let small = model.array(ArrayKind::Sram, 8 * 1024);
+        let large = model.array(ArrayKind::Sram, 1024 * 1024);
+        assert!(large.access_ns > small.access_ns);
+        assert!(large.access_pj > small.access_pj);
+        assert!(large.area_mm2 > small.area_mm2);
+    }
+
+    #[test]
+    fn per_bit_area_ordering_cam_sram_dram() {
+        let model = CactiModel::nm45();
+        let bytes = 64 * 1024;
+        let cam = model.array(ArrayKind::Cam, bytes).area_mm2;
+        let sram = model.array(ArrayKind::Sram, bytes).area_mm2;
+        let dram = model.array(ArrayKind::Dram, bytes).area_mm2;
+        assert!(cam > sram && sram > dram);
+    }
+
+    #[test]
+    fn lock_table_lookup_is_fast() {
+        // The lock-table check must fit in a cycle or two of the memory
+        // controller (the paper charges one cycle).
+        let table = CactiModel::nm45().lock_table();
+        assert!(table.access_ns < 2.0, "lock-table access {} ns", table.access_ns);
+    }
+
+    #[test]
+    fn locker_area_overhead_is_tiny() {
+        // Table I: DRAM-Locker adds 0.02% area to a 32 GB module.
+        let model = CactiModel::nm45();
+        let table = model.lock_table();
+        let pct = model.area_overhead_pct(&table, 32 << 30);
+        assert!(pct < 0.1, "area overhead {pct}%");
+    }
+
+    #[test]
+    fn dram_access_slower_than_sram() {
+        let model = CactiModel::nm45();
+        let sram = model.array(ArrayKind::Sram, 64 * 1024);
+        let dram = model.array(ArrayKind::Dram, 64 * 1024);
+        assert!(dram.access_ns > sram.access_ns);
+    }
+}

@@ -1,0 +1,163 @@
+//! Analytical DRAM-Locker latency/security models for Fig. 7.
+//!
+//! The working implementation lives in `dlk-locker`; these closed-form
+//! models scale its measured behaviour to the 80,000-BFA / multi-year
+//! regimes of Fig. 7 that are impractical to simulate cycle by cycle.
+
+use serde::{Deserialize, Serialize};
+
+use dlk_defenses::shadow::defense_days;
+use dlk_dram::TimingParams;
+
+/// DRAM-Locker's added latency per refresh window.
+///
+/// Denied attacker instructions are *skipped* — they add only the
+/// one-cycle lock-table check, which overlaps request decode. The only
+/// real cost is the occasional SWAP + re-lock pair, incurred when the
+/// victim's own traffic touches a locked row while an attack campaign
+/// runs. `touch_probability` is the fraction of attack campaigns that
+/// coincide with such a legitimate access (measured from the
+/// end-to-end simulation; see EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DlLatencyModel {
+    /// DDR timing.
+    pub timing: TimingParams,
+    /// Probability a BFA campaign forces one SWAP + re-lock pair.
+    pub touch_probability: f64,
+    /// Cycles per SWAP (three RowClone copies).
+    pub swap_cycles: u64,
+}
+
+impl Default for DlLatencyModel {
+    fn default() -> Self {
+        let timing = TimingParams::ddr4_2400();
+        Self {
+            timing,
+            touch_probability: 0.05,
+            swap_cycles: 3 * timing.rowclone_cycles(),
+        }
+    }
+}
+
+impl DlLatencyModel {
+    /// Added latency per refresh window in seconds for `n_bfa` attack
+    /// campaigns. Unlike SHADOW there is no defense threshold: the
+    /// curve keeps its (shallow) slope for any attack intensity.
+    pub fn latency_per_tref_s(&self, n_bfa: u64) -> f64 {
+        let swaps = n_bfa as f64 * self.touch_probability;
+        // SWAP out + swap back at the re-lock deadline.
+        self.timing.cycles_to_s((2 * self.swap_cycles) as f64 as u64) * swaps
+    }
+}
+
+/// DRAM-Locker's defense time under SWAP errors (Fig. 7(b)).
+///
+/// With perfect SWAPs the defense is unconditional — denied rows are
+/// never activated. The residual risk comes from *erroneous* row
+/// copies (§IV-D): a copy error is a stray bit flip that could, with
+/// vanishing probability, land exactly on the attacker's target bit in
+/// the attacker's target row during an attack window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DlSecurityModel {
+    /// DDR timing.
+    pub timing: TimingParams,
+    /// Per-row-copy error rate (the paper evaluates 10%).
+    pub copy_error_rate: f64,
+    /// Probability an erroneous copy's stray flip aligns with the
+    /// attacker's exact target (row, bit and window). Calibrated so the
+    /// 1k-threshold defense time lands at the paper's "exceeding 500
+    /// days" (see EXPERIMENTS.md for the derivation).
+    pub alignment_probability: f64,
+}
+
+impl Default for DlSecurityModel {
+    fn default() -> Self {
+        Self {
+            timing: TimingParams::ddr4_2400(),
+            copy_error_rate: 0.10,
+            alignment_probability: 3.5e-14,
+        }
+    }
+}
+
+impl DlSecurityModel {
+    /// Probability a whole three-copy SWAP contains at least one error.
+    pub fn swap_error_probability(&self) -> f64 {
+        1.0 - (1.0 - self.copy_error_rate).powi(3)
+    }
+
+    /// Attacker success probability per refresh window at threshold
+    /// `trh`.
+    pub fn p_win_per_window(&self, trh: u64) -> f64 {
+        let opportunities = (self.timing.hammers_per_window() / trh.max(1)) as f64;
+        opportunities * self.swap_error_probability() * self.alignment_probability
+    }
+
+    /// Defense time in days at threshold `trh` (attacker success kept
+    /// below 1%).
+    pub fn defense_time_days(&self, trh: u64) -> f64 {
+        defense_days(self.p_win_per_window(trh), &self.timing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlk_defenses::ShadowModel;
+
+    #[test]
+    fn dl_latency_grows_but_stays_low() {
+        let model = DlLatencyModel::default();
+        let low = model.latency_per_tref_s(10_000);
+        let high = model.latency_per_tref_s(80_000);
+        assert!(high > low);
+        // Fig. 7(a): DL stays in single-digit milliseconds where
+        // SHADOW-1000 reaches tens of milliseconds.
+        assert!(high < 0.01, "DL latency {high}");
+    }
+
+    #[test]
+    fn dl_below_shadow_at_all_attack_intensities() {
+        let dl = DlLatencyModel::default();
+        let shadow = ShadowModel::new(1000);
+        for n in [1_000u64, 10_000, 40_000, 80_000] {
+            assert!(
+                dl.latency_per_tref_s(n) < shadow.latency_per_tref_s(n, 1000),
+                "DL must undercut SHADOW-1000 at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn defense_time_exceeds_500_days_at_1k() {
+        // The paper's headline security number.
+        let model = DlSecurityModel::default();
+        let days = model.defense_time_days(1000);
+        assert!(days > 500.0, "defense time {days} days");
+    }
+
+    #[test]
+    fn defense_time_exceeds_4000_days_at_8k() {
+        // Fig. 7(b) annotates ">4000" at higher thresholds.
+        let model = DlSecurityModel::default();
+        assert!(model.defense_time_days(8000) > 4000.0);
+    }
+
+    #[test]
+    fn dl_outlasts_shadow_by_orders_of_magnitude() {
+        let dl = DlSecurityModel::default();
+        for trh in [1000u64, 2000, 4000, 8000] {
+            let shadow = ShadowModel::new(trh).defense_time_days(trh);
+            assert!(
+                dl.defense_time_days(trh) > shadow * 100.0,
+                "DL must dominate SHADOW at trh={trh}"
+            );
+        }
+    }
+
+    #[test]
+    fn swap_error_probability_matches_copy_rate() {
+        let model = DlSecurityModel::default();
+        assert!((model.swap_error_probability() - 0.271).abs() < 0.001);
+    }
+}

@@ -1,0 +1,98 @@
+//! Fig. 1(a): targeted BFA vs random bit flips.
+//!
+//! An 8-bit quantized VGG-11-like network on the CIFAR-100-like
+//! dataset. The targeted attack collapses accuracy within tens of
+//! flips; uniformly random flips barely move it — the gap DRAM-Locker
+//! aims to enforce on every attacker.
+
+use dlk_attacks::bfa::{BfaConfig, BitSearch};
+use dlk_attacks::random::RandomAttack;
+use dlk_dnn::models;
+
+use crate::report::Series;
+
+use super::Fidelity;
+
+/// Result of the Fig. 1(a) experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1a {
+    /// Targeted-attack accuracy curve (x = flips, y = accuracy %).
+    pub bfa: Series,
+    /// Random-attack accuracy curve averaged over several seeds.
+    pub random: Series,
+}
+
+impl Fig1a {
+    /// Renders both curves.
+    pub fn render(&self) -> String {
+        Series::render_all(
+            "Fig 1(a): targeted BFA vs random flips (accuracy %)",
+            &[self.bfa.clone(), self.random.clone()],
+        )
+    }
+}
+
+/// Runs the experiment.
+pub fn run(fidelity: Fidelity) -> Fig1a {
+    let (victim, flips, sample) = match fidelity {
+        Fidelity::Fast => (models::victim_tiny(42), 15, 32),
+        Fidelity::Full => (models::victim_vgg11_cifar100(42), 100, 128),
+    };
+    let (x, y) = victim.dataset.test_sample(sample, 0);
+
+    let mut bfa_model = victim.model.clone();
+    let bfa_curve =
+        BitSearch::new(BfaConfig::default()).run(&mut bfa_model, &x, &y, flips);
+    let mut bfa = Series::new("BFA");
+    for point in &bfa_curve.points {
+        bfa.push(point.flips as f64, point.accuracy * 100.0);
+    }
+
+    // Average the random baseline over a few seeds.
+    let seeds = 3u64;
+    let mut sums = vec![0.0f64; flips + 1];
+    for seed in 0..seeds {
+        let mut model = victim.model.clone();
+        let curve = RandomAttack::new(seed).run(&mut model, &x, &y, flips);
+        for (index, point) in curve.points.iter().enumerate() {
+            sums[index] += point.accuracy * 100.0;
+        }
+    }
+    let mut random = Series::new("Random");
+    for (index, sum) in sums.iter().enumerate() {
+        random.push(index as f64, sum / seeds as f64);
+    }
+
+    Fig1a { bfa, random }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfa_ends_well_below_random() {
+        let result = run(Fidelity::Fast);
+        assert!(
+            result.bfa.last_y() < result.random.last_y() - 5.0,
+            "BFA {} vs random {}",
+            result.bfa.last_y(),
+            result.random.last_y()
+        );
+    }
+
+    #[test]
+    fn curves_start_at_the_same_clean_accuracy() {
+        let result = run(Fidelity::Fast);
+        let (_, bfa0) = result.bfa.points[0];
+        let (_, rnd0) = result.random.points[0];
+        assert!((bfa0 - rnd0).abs() < 1e-9);
+        assert!(bfa0 > 50.0);
+    }
+
+    #[test]
+    fn render_mentions_both_attacks() {
+        let text = run(Fidelity::Fast).render();
+        assert!(text.contains("BFA") && text.contains("Random"));
+    }
+}

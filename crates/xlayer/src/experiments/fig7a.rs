@@ -1,0 +1,115 @@
+//! Fig. 7(a): defense-added latency per refresh window vs #BFA.
+//!
+//! SHADOW at thresholds 1k/2k/4k/8k against DRAM-Locker at the
+//! worst-case TRH = 1k (with its 10% row-copy error assumption).
+//! SHADOW's curves climb steeply (slope ∝ 1/threshold) and flatten at
+//! their defense thresholds — the point where system integrity is
+//! compromised; DRAM-Locker's curve stays lowest and never exhibits a
+//! defense threshold.
+
+use dlk_defenses::ShadowModel;
+
+use crate::report::Series;
+
+use super::dl_model::DlLatencyModel;
+use super::Fidelity;
+
+/// Attack TRH evaluated in the figure (the paper's worst case).
+pub const TRH_ATTACK: u64 = 1000;
+
+/// Result of the Fig. 7(a) experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7a {
+    /// SHADOW curves labeled by threshold, plus the DL curve.
+    pub series: Vec<Series>,
+}
+
+impl Fig7a {
+    /// The DRAM-Locker curve.
+    pub fn dl(&self) -> &Series {
+        self.series.last().expect("series is never empty")
+    }
+
+    /// Renders all curves.
+    pub fn render(&self) -> String {
+        Series::render_all("Fig 7(a): latency per Tref (s) vs #BFA", &self.series)
+    }
+}
+
+/// Runs the experiment.
+pub fn run(fidelity: Fidelity) -> Fig7a {
+    let (max_bfa, step) = match fidelity {
+        Fidelity::Fast => (20_000u64, 5_000u64),
+        Fidelity::Full => (80_000, 4_000),
+    };
+    let mut series = Vec::new();
+    for threshold in [1_000u64, 2_000, 4_000, 8_000] {
+        let model = ShadowModel::new(threshold);
+        let mut curve = Series::new(format!("SHADOW{threshold}"));
+        let mut n = 0;
+        while n <= max_bfa {
+            curve.push(n as f64, model.latency_per_tref_s(n, TRH_ATTACK));
+            n += step;
+        }
+        series.push(curve);
+    }
+    let dl = DlLatencyModel::default();
+    let mut curve = Series::new("DL");
+    let mut n = 0;
+    while n <= max_bfa {
+        curve.push(n as f64, dl.latency_per_tref_s(n));
+        n += step;
+    }
+    series.push(curve);
+    Fig7a { series }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_curves_in_threshold_order() {
+        let result = run(Fidelity::Fast);
+        assert_eq!(result.series.len(), 5);
+        assert_eq!(result.series[0].label, "SHADOW1000");
+        assert_eq!(result.dl().label, "DL");
+    }
+
+    #[test]
+    fn dl_is_lowest_curve_everywhere() {
+        let result = run(Fidelity::Full);
+        let dl = result.dl();
+        for shadow in &result.series[..4] {
+            for (index, &(_, dl_y)) in dl.points.iter().enumerate().skip(1) {
+                assert!(
+                    dl_y < shadow.points[index].1,
+                    "DL above {} at point {index}",
+                    shadow.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shadow_curves_ordered_by_threshold_before_saturation() {
+        let result = run(Fidelity::Fast);
+        // At the first nonzero x, lower thresholds cost more.
+        let at1: Vec<f64> = result.series[..4].iter().map(|s| s.points[1].1).collect();
+        for pair in at1.windows(2) {
+            assert!(pair[0] >= pair[1], "{at1:?}");
+        }
+    }
+
+    #[test]
+    fn shadow1000_saturates_within_the_sweep() {
+        let result = run(Fidelity::Full);
+        let shadow1000 = &result.series[0];
+        let last = shadow1000.points.len() - 1;
+        // Flat tail: last two points equal.
+        assert!(
+            (shadow1000.points[last].1 - shadow1000.points[last - 1].1).abs() < 1e-12,
+            "SHADOW-1000 should have hit its defense threshold"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! The "in-house optimizer" of Fig. 6: folds memory statistics and the
+//! cost models into end-to-end performance parameters.
+
+use serde::{Deserialize, Serialize};
+
+use dlk_dram::{DramStats, TimingParams};
+use dlk_locker::LockerStats;
+
+use crate::cacti::CactiModel;
+
+/// End-to-end performance parameters (the optimizer's output).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerformanceParams {
+    /// Total simulated time, seconds.
+    pub latency_s: f64,
+    /// Total energy, joules.
+    pub energy_j: f64,
+    /// Defense-added latency, seconds (lock-table checks + swaps).
+    pub defense_latency_s: f64,
+    /// Defense-added energy, joules.
+    pub defense_energy_j: f64,
+    /// Application accuracy, if the workload was a DNN.
+    pub accuracy: Option<f64>,
+}
+
+impl PerformanceParams {
+    /// Defense latency as a fraction of total latency.
+    pub fn defense_overhead_fraction(&self) -> f64 {
+        if self.latency_s == 0.0 {
+            0.0
+        } else {
+            self.defense_latency_s / self.latency_s
+        }
+    }
+}
+
+/// Combines statistics into [`PerformanceParams`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Optimizer {
+    cacti: CactiModel,
+}
+
+impl Optimizer {
+    /// Creates an optimizer with the 45 nm cost model.
+    pub fn new() -> Self {
+        Self { cacti: CactiModel::nm45() }
+    }
+
+    /// The cost model.
+    pub fn cacti(&self) -> &CactiModel {
+        &self.cacti
+    }
+
+    /// Evaluates a run: DRAM statistics, the defense's statistics and
+    /// the DDR timing, plus an optional application accuracy.
+    pub fn evaluate(
+        &self,
+        dram: &DramStats,
+        locker: &LockerStats,
+        timing: &TimingParams,
+        accuracy: Option<f64>,
+    ) -> PerformanceParams {
+        let latency_s = timing.cycles_to_s(dram.cycles);
+        let energy_j = dram.energy_pj * 1e-12;
+        let table = self.cacti.lock_table();
+        let checks = locker.rw_seen as f64;
+        let defense_latency_s =
+            timing.cycles_to_s(locker.swap_cycles) + checks * table.access_ns * 1e-9;
+        let defense_energy_j =
+            locker.swap_energy_pj * 1e-12 + checks * table.access_pj * 1e-12;
+        PerformanceParams {
+            latency_s,
+            energy_j,
+            defense_latency_s,
+            defense_energy_j,
+            accuracy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_stats_zero_params() {
+        let params = Optimizer::new().evaluate(
+            &DramStats::default(),
+            &LockerStats::default(),
+            &TimingParams::ddr4_2400(),
+            None,
+        );
+        assert_eq!(params.latency_s, 0.0);
+        assert_eq!(params.defense_overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn swap_cycles_show_up_as_defense_latency() {
+        let locker = LockerStats { swap_cycles: 1_200_000, rw_seen: 10, ..Default::default() };
+        let dram = DramStats { cycles: 12_000_000, ..Default::default() };
+        let params = Optimizer::new().evaluate(
+            &dram,
+            &locker,
+            &TimingParams::ddr4_2400(),
+            Some(0.9),
+        );
+        assert!(params.defense_latency_s > 0.0009);
+        assert!((params.defense_overhead_fraction() - 0.1).abs() < 0.01);
+        assert_eq!(params.accuracy, Some(0.9));
+    }
+}

@@ -1,0 +1,195 @@
+//! Experiment output: ASCII tables, series and CSV export.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rectangular result table.
+///
+/// # Example
+///
+/// ```
+/// use dlk_xlayer::Table;
+/// let mut table = Table::new("demo", &["x", "y"]);
+/// table.row(&["1", "2"]);
+/// let text = table.to_string();
+/// assert!(text.contains("demo") && text.contains('1'));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Title shown above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells.iter().map(|c| (*c).to_owned()).collect());
+    }
+
+    /// Appends a row of owned strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells);
+    }
+
+    /// Serializes as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (index, cell) in row.iter().enumerate() {
+                widths[index] = widths[index].max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (index, cell) in cells.iter().enumerate() {
+                write!(f, "| {:width$} ", cell, width = widths[index])?;
+            }
+            writeln!(f, "|")
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// A named (x, y) series — one curve of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label.
+    pub label: String,
+    /// Points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self { label: label.into(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Final y value (NaN for empty series).
+    pub fn last_y(&self) -> f64 {
+        self.points.last().map_or(f64::NAN, |&(_, y)| y)
+    }
+
+    /// Renders several series as a compact ASCII listing, one line per
+    /// x value, one column per series.
+    pub fn render_all(title: &str, series: &[Series]) -> String {
+        let mut out = format!("== {title} ==\n");
+        out.push_str("x");
+        for s in series {
+            out.push_str(&format!("\t{}", s.label));
+        }
+        out.push('\n');
+        let n = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        for index in 0..n {
+            let x = series
+                .iter()
+                .find_map(|s| s.points.get(index).map(|&(x, _)| x))
+                .unwrap_or(f64::NAN);
+            out.push_str(&format!("{x:.0}"));
+            for s in series {
+                match s.points.get(index) {
+                    Some(&(_, y)) => out.push_str(&format!("\t{y:.6}")),
+                    None => out.push_str("\t-"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_with_alignment() {
+        let mut table = Table::new("t", &["name", "value"]);
+        table.row(&["alpha", "1"]);
+        table.row(&["b", "10000"]);
+        let text = table.to_string();
+        assert!(text.contains("== t =="));
+        assert!(text.contains("alpha"));
+        assert!(text.contains("10000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_rejected() {
+        let mut table = Table::new("t", &["a", "b"]);
+        table.row(&["only-one"]);
+    }
+
+    #[test]
+    fn csv_roundtrip_structure() {
+        let mut table = Table::new("t", &["a", "b"]);
+        table.row(&["1", "2"]);
+        let csv = table.to_csv();
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn series_render_includes_all_labels() {
+        let mut a = Series::new("bfa");
+        a.push(0.0, 0.9);
+        a.push(1.0, 0.5);
+        let mut b = Series::new("random");
+        b.push(0.0, 0.9);
+        b.push(1.0, 0.8);
+        let text = Series::render_all("fig", &[a.clone(), b]);
+        assert!(text.contains("bfa") && text.contains("random"));
+        assert_eq!(a.last_y(), 0.5);
+    }
+}

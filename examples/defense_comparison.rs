@@ -1,0 +1,63 @@
+//! Mounts every RowHammer defense in the workspace on the same memory
+//! controller and subjects each to the same hammer campaign, then
+//! prints the Table I overhead comparison.
+//!
+//! Run with: `cargo run --release --example defense_comparison`
+
+use dram_locker::attacks::hammer::{HammerConfig, HammerDriver};
+use dram_locker::defenses::{
+    CounterDefenseHook, CounterPerRow, Graphene, Hydra, RowSwapDefense, Shadow, SwapPolicy,
+    Twice,
+};
+use dram_locker::dram::RowAddr;
+use dram_locker::locker::{DramLocker, LockerConfig};
+use dram_locker::memctrl::{DefenseHook, MemCtrlConfig, MemoryController};
+use dram_locker::xlayer::experiments::table1;
+
+fn campaign(hook: Option<Box<dyn DefenseHook>>) -> (bool, u64, u64) {
+    let config = MemCtrlConfig::tiny_for_tests(); // TRH = 16
+    let mut ctrl = match hook {
+        Some(hook) => MemoryController::with_hook(config, hook),
+        None => MemoryController::new(config),
+    };
+    let victim = RowAddr::new(0, 0, 20);
+    let driver =
+        HammerDriver::new(HammerConfig { max_activations: 5_000, check_interval: 8 });
+    let outcome = driver.hammer_bit(&mut ctrl, victim, 99).expect("campaign runs");
+    (outcome.flipped, outcome.requests, outcome.denied)
+}
+
+fn main() {
+    let geometry = MemCtrlConfig::tiny_for_tests().dram.geometry;
+    println!("hammer campaign against row 20, TRH = 16, budget 5000 activations\n");
+    println!("{:<18} {:>8} {:>10} {:>8}", "defense", "flipped", "requests", "denied");
+
+    let rows: Vec<(&str, Option<Box<dyn DefenseHook>>)> = vec![
+        ("none", None),
+        ("graphene", Some(Box::new(CounterDefenseHook::new(Graphene::new(64, 8))))),
+        ("hydra", Some(Box::new(CounterDefenseHook::new(Hydra::new(16, 4, 8))))),
+        ("twice", Some(Box::new(CounterDefenseHook::new(Twice::new(8, 64, 1))))),
+        (
+            "counter-per-row",
+            Some(Box::new(CounterDefenseHook::new(CounterPerRow::new(8)))),
+        ),
+        ("rrs", Some(Box::new(RowSwapDefense::new(SwapPolicy::Randomized, 8, 1)))),
+        ("srs", Some(Box::new(RowSwapDefense::new(SwapPolicy::Secure, 8, 1)))),
+        ("shadow", Some(Box::new(Shadow::new(8, 1)))),
+        ("dram-locker", {
+            let mut locker = DramLocker::new(LockerConfig::default(), geometry);
+            // Lock the aggressor-candidate rows around the victim.
+            locker.lock_row(RowAddr::new(0, 0, 19)).expect("capacity");
+            locker.lock_row(RowAddr::new(0, 0, 21)).expect("capacity");
+            Some(Box::new(locker))
+        }),
+    ];
+
+    for (name, hook) in rows {
+        let (flipped, requests, denied) = campaign(hook);
+        println!("{name:<18} {flipped:>8} {requests:>10} {denied:>8}");
+    }
+
+    println!();
+    println!("{}", table1::run());
+}

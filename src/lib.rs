@@ -1,0 +1,30 @@
+//! # dram-locker — reproduction of DRAM-Locker (DATE 2024)
+//!
+//! Facade crate re-exporting the full workspace:
+//!
+//! - [`dram`] — cycle-level DRAM device with RowClone and RowHammer;
+//! - [`memctrl`] — memory controller, address mapping, page tables;
+//! - [`locker`] — the DRAM-Locker defense (lock-table + in-DRAM SWAP);
+//! - [`dnn`] — quantized DNN substrate (training, inference, DRAM layout);
+//! - [`attacks`] — BFA, random-flip and page-table attacks;
+//! - [`defenses`] — SHADOW and other baseline RowHammer defenses;
+//! - [`xlayer`] — cross-layer evaluation framework and paper experiments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dram_locker::locker::{DramLocker, LockerConfig};
+//! use dram_locker::memctrl::{MemoryController, MemCtrlConfig};
+//!
+//! let controller = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+//! let locker = DramLocker::new(LockerConfig::default(), controller.geometry());
+//! assert_eq!(locker.lock_table().len(), 0);
+//! ```
+
+pub use dlk_attacks as attacks;
+pub use dlk_defenses as defenses;
+pub use dlk_dnn as dnn;
+pub use dlk_dram as dram;
+pub use dlk_locker as locker;
+pub use dlk_memctrl as memctrl;
+pub use dlk_xlayer as xlayer;

@@ -1,0 +1,102 @@
+//! Half-Double (Kogler et al., USENIX Security 2022): disturbance that
+//! reaches *two* rows away from the aggressor. The paper cites it as
+//! the attack class that breaks distance-1 mitigation assumptions.
+//!
+//! With a Half-Double-capable device, a radius-1 protection plan locks
+//! only the victim's immediate neighbours — the attacker hammers the
+//! row at distance 2 (unlocked!) and still flips the victim. Raising
+//! the plan's lock radius to 2 closes the gap.
+
+use dram_locker::attacks::hammer::HammerDriver;
+use dram_locker::dram::{RowAddr, RowHammerConfig};
+use dram_locker::locker::{DramLocker, LockTarget, LockerConfig, ProtectionPlan};
+use dram_locker::memctrl::{MemCtrlConfig, MemRequest, MemoryController};
+
+fn half_double_config() -> MemCtrlConfig {
+    let mut config = MemCtrlConfig::tiny_for_tests();
+    config.dram.hammer = RowHammerConfig {
+        trh: 16,
+        half_double_factor: 1, // every crossing also disturbs distance 2
+        flips_per_event: 1,
+    };
+    config
+}
+
+/// Hammers the row two below the victim (the Half-Double pattern) and
+/// reports whether any victim-row bit changed.
+fn half_double_campaign(ctrl: &mut MemoryController, victim: RowAddr) -> (bool, u64) {
+    let far_aggressor = RowAddr::new(victim.bank, victim.subarray, victim.row - 2);
+    let before = ctrl.dram().read_row(victim).expect("victim row readable");
+    // Drive the far aggressor with a conflict row, like the driver does.
+    let conflict =
+        HammerDriver::pick_conflict_row(far_aggressor, &ctrl.geometry());
+    let aggressor_phys = ctrl.mapper().to_phys(far_aggressor, 0);
+    let conflict_phys = ctrl.mapper().to_phys(conflict, 0);
+    let mut denied = 0;
+    for _ in 0..200 {
+        let done = ctrl
+            .service(MemRequest::read(aggressor_phys, 1).untrusted())
+            .expect("request");
+        if done.denied {
+            denied += 1;
+        }
+        ctrl.service(MemRequest::read(conflict_phys, 1).untrusted()).expect("request");
+    }
+    let after = ctrl.dram().read_row(victim).expect("victim row readable");
+    (before != after, denied)
+}
+
+fn defended_controller(radius: u32, victim_phys: (u64, u64)) -> MemoryController {
+    let config = half_double_config();
+    let mut ctrl = MemoryController::new(config);
+    let mut locker = DramLocker::new(LockerConfig::default(), ctrl.geometry());
+    let mut plan = ProtectionPlan::new(LockTarget::AdjacentRows).with_radius(radius);
+    plan.protect_range(ctrl.mapper(), victim_phys.0, victim_phys.1).expect("range");
+    plan.apply(&mut locker).expect("capacity");
+    ctrl.os_protect_range(victim_phys.0, victim_phys.1);
+    ctrl.set_hook(Box::new(locker));
+    ctrl
+}
+
+const VICTIM_ROW: u32 = 20;
+
+fn victim_range(ctrl: &MemoryController) -> (u64, u64) {
+    let row_bytes = ctrl.geometry().row_bytes as u64;
+    (VICTIM_ROW as u64 * row_bytes, (VICTIM_ROW as u64 + 1) * row_bytes)
+}
+
+#[test]
+fn half_double_reaches_distance_two_undefended() {
+    let mut ctrl = MemoryController::new(half_double_config());
+    let victim = RowAddr::new(0, 0, VICTIM_ROW);
+    let (flipped, denied) = half_double_campaign(&mut ctrl, victim);
+    assert!(flipped, "half-double must disturb at distance 2");
+    assert_eq!(denied, 0);
+}
+
+#[test]
+fn radius_one_plan_misses_the_far_aggressor() {
+    // The distance-2 aggressor is not locked: the attack still lands.
+    let victim = RowAddr::new(0, 0, VICTIM_ROW);
+    let range = {
+        let probe = MemoryController::new(half_double_config());
+        victim_range(&probe)
+    };
+    let mut ctrl = defended_controller(1, range);
+    let (flipped, denied) = half_double_campaign(&mut ctrl, victim);
+    assert!(flipped, "radius-1 locking cannot stop half-double");
+    assert_eq!(denied, 0, "the far aggressor is unlocked at radius 1");
+}
+
+#[test]
+fn radius_two_plan_denies_half_double() {
+    let victim = RowAddr::new(0, 0, VICTIM_ROW);
+    let range = {
+        let probe = MemoryController::new(half_double_config());
+        victim_range(&probe)
+    };
+    let mut ctrl = defended_controller(2, range);
+    let (flipped, denied) = half_double_campaign(&mut ctrl, victim);
+    assert!(!flipped, "radius-2 locking must stop half-double");
+    assert!(denied > 0, "the distance-2 aggressor is locked and denied");
+}
