@@ -77,9 +77,8 @@ impl BitSearch {
         x: &Tensor,
         labels: &[usize],
     ) -> Option<BitIndex> {
-        let (_, grads) = model
-            .loss_and_grads(x, labels)
-            .expect("attack batch shapes are consistent");
+        let (_, grads) =
+            model.loss_and_grads(x, labels).expect("attack batch shapes are consistent");
         let mut best: Option<(f32, BitIndex)> = None;
         let mut probe = model.clone();
         for (layer_index, layer_grads) in grads.iter().enumerate() {
@@ -93,9 +92,7 @@ impl BitSearch {
             for (weight_index, &g) in grad.iter().enumerate() {
                 for &bit in &bits {
                     let index = BitIndex { layer: layer_index, weight: weight_index, bit };
-                    let delta = model
-                        .flip_delta(index)
-                        .expect("index enumerated from model shape");
+                    let delta = model.flip_delta(index).expect("index enumerated from model shape");
                     let gain = g * delta;
                     if gain > 0.0 {
                         candidates.push((gain, index));
@@ -109,7 +106,7 @@ impl BitSearch {
                 let logits = probe.forward(x).expect("attack batch shapes are consistent");
                 let (loss, _) = softmax_cross_entropy(&logits, labels);
                 probe.flip_bit(index).expect("candidate index is valid");
-                if best.map_or(true, |(b, _)| loss > b) {
+                if best.is_none_or(|(b, _)| loss > b) {
                     best = Some((loss, index));
                 }
             }
@@ -134,12 +131,7 @@ impl BitSearch {
             let Some(flip) = self.next_flip(model, x, labels) else { break };
             model.flip_bit(flip).expect("search returned a valid index");
             let accuracy = model.accuracy(x, labels).expect("shapes consistent");
-            curve.push(AttackPoint {
-                iteration,
-                flips: iteration,
-                accuracy,
-                flipped: Some(flip),
-            });
+            curve.push(AttackPoint { iteration, flips: iteration, accuracy, flipped: Some(flip) });
         }
         curve
     }
@@ -156,7 +148,7 @@ mod tests {
         let (x, y) = victim.dataset.test_sample(32, 1);
         let mut model = victim.model.clone();
         let mut search = BitSearch::new(BfaConfig::default());
-        let curve = search.run(&mut model, &x, &y, 12);
+        let curve = search.run(&mut model, &x, &y, 20);
         assert!(curve.clean_accuracy() > 0.6);
         assert!(
             curve.final_accuracy() < curve.clean_accuracy() * 0.6,

@@ -85,10 +85,7 @@ impl HammerDriver {
 
     /// A far-away row in the aggressor's bank/subarray used to force
     /// row-buffer conflicts (never adjacent to the victim).
-    pub fn pick_conflict_row(
-        aggressor: RowAddr,
-        geometry: &dlk_dram::DramGeometry,
-    ) -> RowAddr {
+    pub fn pick_conflict_row(aggressor: RowAddr, geometry: &dlk_dram::DramGeometry) -> RowAddr {
         let rows = geometry.rows_per_subarray;
         let far = (aggressor.row + rows / 2) % rows;
         RowAddr::new(aggressor.bank, aggressor.subarray, far)
@@ -124,8 +121,7 @@ impl HammerDriver {
         let mut flipped = false;
         while requests < self.config.max_activations {
             for _ in 0..self.config.check_interval {
-                let done =
-                    controller.service(MemRequest::read(aggressor_phys, 1).untrusted())?;
+                let done = controller.service(MemRequest::read(aggressor_phys, 1).untrusted())?;
                 requests += 1;
                 if done.denied {
                     denied += 1;
@@ -164,10 +160,7 @@ mod tests {
     fn hammer_flips_target_bit_without_defense() {
         let mut ctrl = controller();
         let victim = RowAddr::new(0, 0, 10);
-        let driver = HammerDriver::new(HammerConfig {
-            max_activations: 10_000,
-            check_interval: 8,
-        });
+        let driver = HammerDriver::new(HammerConfig { max_activations: 10_000, check_interval: 8 });
         let outcome = driver.hammer_bit(&mut ctrl, victim, 123).unwrap();
         assert!(outcome.flipped, "undefended hammer must succeed: {outcome:?}");
         assert_eq!(outcome.denied, 0);
@@ -191,10 +184,7 @@ mod tests {
     fn hammering_costs_row_cycles() {
         let mut ctrl = controller();
         let victim = RowAddr::new(0, 1, 20);
-        let driver = HammerDriver::new(HammerConfig {
-            max_activations: 1_000,
-            check_interval: 8,
-        });
+        let driver = HammerDriver::new(HammerConfig { max_activations: 1_000, check_interval: 8 });
         let outcome = driver.hammer_bit(&mut ctrl, victim, 5).unwrap();
         assert!(outcome.cycles > 0);
         // Every access conflicts in the row buffer (alternating rows),
@@ -208,14 +198,8 @@ mod tests {
         // Row 0 has only one neighbour (row 1).
         let victim = RowAddr::new(0, 0, 0);
         let geometry = ctrl.geometry();
-        assert_eq!(
-            HammerDriver::pick_aggressor(victim, &geometry),
-            Some(RowAddr::new(0, 0, 1))
-        );
-        let driver = HammerDriver::new(HammerConfig {
-            max_activations: 10_000,
-            check_interval: 8,
-        });
+        assert_eq!(HammerDriver::pick_aggressor(victim, &geometry), Some(RowAddr::new(0, 0, 1)));
+        let driver = HammerDriver::new(HammerConfig { max_activations: 10_000, check_interval: 8 });
         let outcome = driver.hammer_bit(&mut ctrl, victim, 7).unwrap();
         assert!(outcome.flipped);
     }

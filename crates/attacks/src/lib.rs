@@ -25,8 +25,8 @@ pub mod outcome;
 pub mod pta;
 pub mod random;
 
-pub use bfa::{BfaConfig, BitSearch};
-pub use hammer::{HammerConfig, HammerDriver, HammerOutcome};
-pub use outcome::{AttackCurve, AttackPoint};
-pub use pta::{PtaAttack, PtaConfig, PtaOutcome};
-pub use random::RandomAttack;
+pub use crate::bfa::{BfaConfig, BitSearch};
+pub use crate::hammer::{HammerConfig, HammerDriver, HammerOutcome};
+pub use crate::outcome::{AttackCurve, AttackPoint};
+pub use crate::pta::{PtaAttack, PtaConfig, PtaOutcome};
+pub use crate::random::RandomAttack;

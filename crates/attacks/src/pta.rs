@@ -103,10 +103,7 @@ impl PtaAttack {
             let take = (row_bytes - col).min(payload.len() - offset);
             let mut row_data = controller.dram().read_row(row).map_err(MemCtrlError::Dram)?;
             row_data[col..col + take].copy_from_slice(&payload[offset..offset + take]);
-            controller
-                .dram_mut()
-                .write_row(row, &row_data)
-                .map_err(MemCtrlError::Dram)?;
+            controller.dram_mut().write_row(row, &row_data).map_err(MemCtrlError::Dram)?;
             offset += take;
         }
         Ok(target)
@@ -130,12 +127,7 @@ impl PtaAttack {
         let driver = HammerDriver::new(self.config.hammer);
         let hammer = driver.hammer_bit(controller, pte_row, bit_in_row)?;
         let final_pfn = table.read_pte(controller.dram(), &mapper, vpn)?.pfn;
-        Ok(PtaOutcome {
-            redirected: final_pfn != original_pfn,
-            original_pfn,
-            final_pfn,
-            hammer,
-        })
+        Ok(PtaOutcome { redirected: final_pfn != original_pfn, original_pfn, final_pfn, hammer })
     }
 }
 
@@ -147,11 +139,8 @@ mod tests {
     fn setup() -> (MemoryController, PageTable) {
         let mut ctrl = MemoryController::new(MemCtrlConfig::tiny_for_tests());
         // Keep the PTE array away from row 0 edges: base it at row 16.
-        let table = PageTable::new(PageTableConfig {
-            page_size: 256,
-            base_phys: 16 * 64,
-            num_pages: 16,
-        });
+        let table =
+            PageTable::new(PageTableConfig { page_size: 256, base_phys: 16 * 64, num_pages: 16 });
         let mapper = *ctrl.mapper();
         // Map vpn 3 -> pfn 8.
         table.map(ctrl.dram_mut(), &mapper, 3, 8).unwrap();

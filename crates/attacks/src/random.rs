@@ -40,9 +40,7 @@ impl RandomAttack {
     /// Picks a uniformly random weight bit of the model.
     pub fn next_flip(&mut self, model: &QuantizedMlp) -> BitIndex {
         let offset = self.rng.random_range(0..model.total_weights());
-        let (layer, weight) = model
-            .locate_byte(offset)
-            .expect("offset drawn below total_weights");
+        let (layer, weight) = model.locate_byte(offset).expect("offset drawn below total_weights");
         BitIndex { layer, weight, bit: self.rng.random_range(0..8u8) }
     }
 
@@ -61,12 +59,7 @@ impl RandomAttack {
             let flip = self.next_flip(model);
             model.flip_bit(flip).expect("random index is in range");
             let accuracy = model.accuracy(x, labels).expect("shapes consistent");
-            curve.push(AttackPoint {
-                iteration,
-                flips: iteration,
-                accuracy,
-                flipped: Some(flip),
-            });
+            curve.push(AttackPoint { iteration, flips: iteration, accuracy, flipped: Some(flip) });
         }
         curve
     }

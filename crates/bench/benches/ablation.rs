@@ -13,9 +13,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dlk_bench::print_once;
 use dlk_dram::RowAddr;
 use dlk_locker::{DramLocker, LockTarget, LockerConfig, ProtectionPlan};
-use dlk_memctrl::{
-    MemCtrlConfig, MemRequest, MemoryController, SchedulingPolicy,
-};
+use dlk_memctrl::{MemCtrlConfig, MemRequest, MemoryController, SchedulingPolicy};
 
 static ARTIFACT: Once = Once::new();
 
@@ -53,8 +51,7 @@ fn bench_ablation(c: &mut Criterion) {
         let mut out = String::from("== Ablations ==\n");
         out.push_str("relock_interval -> (redirects, denies, mean latency cycles)\n");
         for interval in [100u64, 1_000, 10_000] {
-            let (redirects, denies, mean) =
-                victim_workload(interval, LockTarget::AdjacentRows);
+            let (redirects, denies, mean) = victim_workload(interval, LockTarget::AdjacentRows);
             out.push_str(&format!(
                 "  interval {interval:>6}: redirects {redirects:>5}, denies {denies:>4}, mean {mean:.1}\n"
             ));

@@ -16,11 +16,7 @@ static ARTIFACT: Once = Once::new();
 
 fn bench_fig8(c: &mut Criterion) {
     print_once(&ARTIFACT, || {
-        fig8::run(Fidelity::Full)
-            .iter()
-            .map(fig8::Fig8Panel::render)
-            .collect::<Vec<_>>()
-            .join("\n")
+        fig8::run(Fidelity::Full).iter().map(fig8::Fig8Panel::render).collect::<Vec<_>>().join("\n")
     });
 
     let mut group = c.benchmark_group("fig8");
@@ -31,8 +27,7 @@ fn bench_fig8(c: &mut Criterion) {
         locker.lock_row(RowAddr::new(0, 0, 19)).expect("capacity");
         locker.lock_row(RowAddr::new(0, 0, 21)).expect("capacity");
         let mut ctrl = MemoryController::with_hook(config, Box::new(locker));
-        let driver =
-            HammerDriver::new(HammerConfig { max_activations: 64, check_interval: 8 });
+        let driver = HammerDriver::new(HammerConfig { max_activations: 64, check_interval: 8 });
         b.iter(|| driver.hammer_bit(&mut ctrl, RowAddr::new(0, 0, 20), 5).expect("runs"))
     });
     group.finish();

@@ -20,12 +20,8 @@ fn bench_table1(c: &mut Criterion) {
     let capacity = 56 * 1024 / 8;
     let mut table = LockTable::new(capacity);
     table.extend((0..capacity as u64).map(RowId));
-    group.bench_function("lock_table_lookup_hit", |b| {
-        b.iter(|| table.is_locked(RowId(1234)))
-    });
-    group.bench_function("lock_table_lookup_miss", |b| {
-        b.iter(|| table.is_locked(RowId(u64::MAX)))
-    });
+    group.bench_function("lock_table_lookup_hit", |b| b.iter(|| table.is_locked(RowId(1234))));
+    group.bench_function("lock_table_lookup_miss", |b| b.iter(|| table.is_locked(RowId(u64::MAX))));
     group.finish();
 }
 

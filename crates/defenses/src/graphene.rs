@@ -80,11 +80,7 @@ impl RowTracker for Graphene {
         } else {
             // Try to reclaim an entry at the spillover level.
             self.spillover += 1;
-            let reclaim = self
-                .counters
-                .iter()
-                .find(|(_, &c)| c < self.spillover)
-                .map(|(&r, _)| r);
+            let reclaim = self.counters.iter().find(|(_, &c)| c < self.spillover).map(|(&r, _)| r);
             if let Some(victim) = reclaim {
                 self.counters.remove(&victim);
                 self.counters.insert(row, self.spillover);

@@ -86,10 +86,7 @@ impl RowTracker for Hydra {
         } else {
             // Per-row phase: the row inherits the (pessimistic) group
             // count on first sight, as in the paper.
-            let count = self
-                .rows
-                .entry(row)
-                .or_insert(self.group_threshold);
+            let count = self.rows.entry(row).or_insert(self.group_threshold);
             *count += 1;
             if *count >= self.row_threshold {
                 *count = 0;

@@ -31,17 +31,17 @@ pub mod overhead;
 pub mod pagetable_defenses;
 pub mod rrs;
 pub mod shadow;
+pub mod training;
 pub mod traits;
 pub mod twice;
-pub mod training;
 
-pub use counters::{CounterPerRow, CounterTree};
-pub use graphene::Graphene;
-pub use hydra::Hydra;
-pub use overhead::{table1, MemoryKind, Overhead, OverheadRow};
-pub use pagetable_defenses::{PtGuard, SoftTrr};
-pub use rrs::{RowSwapDefense, SwapPolicy};
-pub use shadow::{Shadow, ShadowModel};
-pub use traits::{CounterDefenseHook, RowTracker};
-pub use training::{baseline_entry, dram_locker_entry, TableTwoEntry};
-pub use twice::Twice;
+pub use crate::counters::{CounterPerRow, CounterTree};
+pub use crate::graphene::Graphene;
+pub use crate::hydra::Hydra;
+pub use crate::overhead::{table1, MemoryKind, Overhead, OverheadRow};
+pub use crate::pagetable_defenses::{PtGuard, SoftTrr};
+pub use crate::rrs::{RowSwapDefense, SwapPolicy};
+pub use crate::shadow::{Shadow, ShadowModel};
+pub use crate::training::{baseline_entry, dram_locker_entry, TableTwoEntry};
+pub use crate::traits::{CounterDefenseHook, RowTracker};
+pub use crate::twice::Twice;

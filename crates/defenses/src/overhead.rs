@@ -134,7 +134,10 @@ pub fn table1(spec: &DramSpec) -> Vec<OverheadRow> {
             // supported TRH; row tags in CAM, counters in SRAM. Entry
             // counts follow the Graphene paper's 0.53 MB CAM + 1.12 MB
             // SRAM total for this module size.
-            capacity: vec![Overhead::cam((543 * KB * spec.banks) / 16), Overhead::sram((1147 * KB * spec.banks) / 16)],
+            capacity: vec![
+                Overhead::cam((543 * KB * spec.banks) / 16),
+                Overhead::sram((1147 * KB * spec.banks) / 16),
+            ],
             area_pct: None,
             counters: Some(1),
         },
@@ -213,11 +216,8 @@ mod tests {
     #[test]
     fn locker_has_smallest_area_overhead() {
         let rows = paper_table();
-        let locker_area = rows
-            .iter()
-            .find(|r| r.framework == "DRAM-Locker")
-            .and_then(|r| r.area_pct)
-            .unwrap();
+        let locker_area =
+            rows.iter().find(|r| r.framework == "DRAM-Locker").and_then(|r| r.area_pct).unwrap();
         for row in &rows {
             if let Some(area) = row.area_pct {
                 assert!(locker_area <= area, "{} has smaller area", row.framework);

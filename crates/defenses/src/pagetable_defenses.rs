@@ -157,11 +157,8 @@ mod tests {
     use dlk_memctrl::{MemCtrlConfig, MemoryController, PageTableConfig};
 
     fn setup_table(ctrl: &mut MemoryController) -> PageTable {
-        let table = PageTable::new(PageTableConfig {
-            page_size: 256,
-            base_phys: 16 * 64,
-            num_pages: 16,
-        });
+        let table =
+            PageTable::new(PageTableConfig { page_size: 256, base_phys: 16 * 64, num_pages: 16 });
         let mapper = *ctrl.mapper();
         table.map(ctrl.dram_mut(), &mapper, 3, 8).expect("map");
         table
@@ -194,8 +191,7 @@ mod tests {
         ctrl.set_hook(Box::new(soft_trr));
         // Hammer an ordinary data row far from the page table.
         let victim = RowAddr::new(1, 1, 20);
-        let driver =
-            HammerDriver::new(HammerConfig { max_activations: 4_000, check_interval: 8 });
+        let driver = HammerDriver::new(HammerConfig { max_activations: 4_000, check_interval: 8 });
         let outcome = driver.hammer_bit(&mut ctrl, victim, 9).expect("campaign");
         assert!(outcome.flipped, "SoftTRR must not stop a weight-row BFA: {outcome:?}");
     }

@@ -200,7 +200,7 @@ mod tests {
     fn crossing_threshold_swaps_and_redirects() {
         let (mut defense, mut dram) = setup(4);
         let row = RowAddr::new(0, 0, 5);
-        dram.write_row(row, &vec![0x5A; 64]).unwrap();
+        dram.write_row(row, &[0x5A; 64]).unwrap();
         for _ in 0..4 {
             defense.on_activate(row, &mut dram);
         }

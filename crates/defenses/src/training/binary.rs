@@ -9,8 +9,8 @@
 
 use dlk_dnn::data::SyntheticDataset;
 use dlk_dnn::model::Mlp;
-use dlk_dnn::train::{TrainConfig, Trainer};
 use dlk_dnn::models::Victim;
+use dlk_dnn::train::{TrainConfig, Trainer};
 use dlk_dnn::Tensor;
 
 use super::TableTwoEntry;
@@ -58,11 +58,7 @@ impl BinaryMlp {
     /// forward pass uses binarized weights while gradients update the
     /// float master, recovering most of the accuracy binarization
     /// costs (as binary-weight training does in the defense papers).
-    pub fn binarize_with_finetune(
-        model: &Mlp,
-        dataset: &SyntheticDataset,
-        epochs: usize,
-    ) -> Self {
+    pub fn binarize_with_finetune(model: &Mlp, dataset: &SyntheticDataset, epochs: usize) -> Self {
         let mut master = model.clone();
         let n = dataset.train_x.rows();
         let dim = dataset.dim;
@@ -71,8 +67,7 @@ impl BinaryMlp {
         let lr = 0.05f32;
         for _ in 0..epochs {
             for start in 0..stride {
-                let indices: Vec<usize> =
-                    (0..batch).map(|k| (start + k * stride) % n).collect();
+                let indices: Vec<usize> = (0..batch).map(|k| (start + k * stride) % n).collect();
                 let mut xs = Vec::with_capacity(batch * dim);
                 let mut ys = Vec::with_capacity(batch);
                 for &index in &indices {
@@ -82,8 +77,7 @@ impl BinaryMlp {
                 let x = Tensor::from_vec(batch, dim, xs);
                 // Forward/backward through the binarized weights.
                 let binary_model = Self::binarize(&master).to_float_model();
-                let (_, grads) =
-                    binary_model.loss_and_grads(&x, &ys).expect("shapes consistent");
+                let (_, grads) = binary_model.loss_and_grads(&x, &ys).expect("shapes consistent");
                 for (layer, grad) in master.layers_mut().iter_mut().zip(&grads) {
                     layer.apply_grads(grad, lr).expect("shapes consistent");
                 }
@@ -114,10 +108,13 @@ impl BinaryMlp {
                 .enumerate()
                 .map(|(flat, &s)| {
                     let m = self.magnitudes[index][flat / input];
-                    if s { m } else { -m }
+                    if s {
+                        m
+                    } else {
+                        -m
+                    }
                 })
                 .collect();
-            let _ = out;
             *layer = dlk_dnn::Linear::from_parts(
                 Tensor::from_vec(out, input, data),
                 self.biases[index].clone(),
@@ -144,7 +141,7 @@ impl BinaryMlp {
                 let m = self.magnitudes[layer_index][weight_index / input];
                 let w = if self.signs[layer_index][weight_index] { m } else { -m };
                 let gain = g * (-2.0 * w);
-                if gain > 0.0 && best.map_or(true, |(b, _)| gain > b) {
+                if gain > 0.0 && best.is_none_or(|(b, _)| gain > b) {
                     best = Some((gain, (layer_index, weight_index)));
                 }
             }
@@ -162,11 +159,8 @@ impl BinaryWeight {
     /// binarized model.
     pub fn evaluate(&self, victim: &Victim, sample: usize, budget: usize) -> TableTwoEntry {
         let (x, y) = victim.dataset.test_sample(sample, 0);
-        let mut model = BinaryMlp::binarize_with_finetune(
-            &victim.model.to_float_model(),
-            &victim.dataset,
-            20,
-        );
+        let mut model =
+            BinaryMlp::binarize_with_finetune(&victim.model.to_float_model(), &victim.dataset, 20);
         evaluate_binary("Binary Weight", &mut model, &victim.dataset, &x, &y, budget)
     }
 }

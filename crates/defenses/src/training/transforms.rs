@@ -95,11 +95,7 @@ impl WeightReconstruction {
                         let slice = &qs[row * input..(row + 1) * input];
                         let n = slice.len().max(1) as f32;
                         let mean = slice.iter().map(|&q| q as f32).sum::<f32>() / n;
-                        let var = slice
-                            .iter()
-                            .map(|&q| (q as f32 - mean).powi(2))
-                            .sum::<f32>()
-                            / n;
+                        let var = slice.iter().map(|&q| (q as f32 - mean).powi(2)).sum::<f32>() / n;
                         (mean, var.sqrt())
                     })
                     .collect()
@@ -213,8 +209,7 @@ mod tests {
         let victim = models::victim_tiny(7);
         let budget = 60;
         let baseline = super::super::baseline_entry(&victim, 32, budget);
-        let reconstruction =
-            WeightReconstruction::default().evaluate(&victim, 32, budget);
+        let reconstruction = WeightReconstruction::default().evaluate(&victim, 32, budget);
         assert!(
             reconstruction.bit_flips >= baseline.bit_flips,
             "reconstruction {} vs baseline {}",

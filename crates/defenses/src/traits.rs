@@ -102,7 +102,7 @@ mod tests {
     impl RowTracker for EveryN {
         fn on_activate(&mut self, _row: RowId) -> bool {
             self.count += 1;
-            self.count % self.n == 0
+            self.count.is_multiple_of(self.n)
         }
         fn reset_window(&mut self) {
             self.count = 0;
@@ -139,9 +139,6 @@ mod tests {
         let mut dram = DramDevice::new(DramConfig::tiny_for_tests());
         let mut hook = CounterDefenseHook::new(EveryN { n: 2, count: 0 });
         let req = MemRequest::read(0, 1);
-        assert_eq!(
-            hook.before_access(&req, RowAddr::new(0, 0, 0), &mut dram),
-            HookAction::Allow
-        );
+        assert_eq!(hook.before_access(&req, RowAddr::new(0, 0, 0), &mut dram), HookAction::Allow);
     }
 }

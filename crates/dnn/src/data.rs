@@ -146,14 +146,8 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(
-            SyntheticDataset::tiny_for_tests(5),
-            SyntheticDataset::tiny_for_tests(5)
-        );
-        assert_ne!(
-            SyntheticDataset::tiny_for_tests(5),
-            SyntheticDataset::tiny_for_tests(6)
-        );
+        assert_eq!(SyntheticDataset::tiny_for_tests(5), SyntheticDataset::tiny_for_tests(5));
+        assert_ne!(SyntheticDataset::tiny_for_tests(5), SyntheticDataset::tiny_for_tests(6));
     }
 
     #[test]

@@ -102,18 +102,14 @@ impl Linear {
     /// # Errors
     ///
     /// Returns [`DnnError::ShapeMismatch`] on inconsistent shapes.
-    pub fn backward(
-        &self,
-        x: &Tensor,
-        d_out: &Tensor,
-    ) -> Result<(LinearGrads, Tensor), DnnError> {
+    pub fn backward(&self, x: &Tensor, d_out: &Tensor) -> Result<(LinearGrads, Tensor), DnnError> {
         // dW = d_outᵀ × x  (out, in)
         let d_weight = d_out.transpose_matmul(x)?;
         // db = column sums of d_out.
         let mut d_bias = vec![0.0f32; self.out_features()];
         for row in 0..d_out.rows() {
-            for col in 0..d_out.cols() {
-                d_bias[col] += d_out.get(row, col);
+            for (col, db) in d_bias.iter_mut().enumerate() {
+                *db += d_out.get(row, col);
             }
         }
         // dX = d_out × W  (batch, in)
@@ -181,9 +177,9 @@ pub fn cross_entropy_grad(probs: &Tensor, labels: &[usize]) -> Tensor {
     assert_eq!(labels.len(), probs.rows(), "one label per row");
     let mut grad = probs.clone();
     let batch = probs.rows() as f32;
-    for row in 0..probs.rows() {
-        let v = grad.get(row, labels[row]);
-        grad.set(row, labels[row], v - 1.0);
+    for (row, &label) in labels.iter().enumerate() {
+        let v = grad.get(row, label);
+        grad.set(row, label, v - 1.0);
     }
     grad.scale(1.0 / batch);
     grad

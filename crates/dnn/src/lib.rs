@@ -47,11 +47,11 @@ pub mod storage;
 pub mod tensor;
 pub mod train;
 
-pub use data::SyntheticDataset;
-pub use error::DnnError;
-pub use layers::Linear;
-pub use model::Mlp;
-pub use quant::{BitIndex, QuantLinear, QuantizedMlp};
-pub use storage::WeightLayout;
-pub use tensor::Tensor;
-pub use train::{TrainConfig, TrainReport, Trainer};
+pub use crate::data::SyntheticDataset;
+pub use crate::error::DnnError;
+pub use crate::layers::Linear;
+pub use crate::model::Mlp;
+pub use crate::quant::{BitIndex, QuantLinear, QuantizedMlp};
+pub use crate::storage::WeightLayout;
+pub use crate::tensor::Tensor;
+pub use crate::train::{TrainConfig, TrainReport, Trainer};

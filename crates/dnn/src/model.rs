@@ -116,11 +116,7 @@ impl Mlp {
         for index in (0..self.layers.len()).rev() {
             let (layer_grads, d_x) = self.layers[index].backward(&inputs[index], &d_out)?;
             grads[index] = Some(layer_grads);
-            d_out = if index > 0 {
-                relu_backward(&d_x, &masks[index - 1])
-            } else {
-                d_x
-            };
+            d_out = if index > 0 { relu_backward(&d_x, &masks[index - 1]) } else { d_x };
         }
         Ok((loss, grads.into_iter().map(Option::unwrap).collect()))
     }
@@ -130,12 +126,7 @@ impl Mlp {
     /// # Errors
     ///
     /// Returns [`DnnError::ShapeMismatch`] on inconsistent shapes.
-    pub fn train_step(
-        &mut self,
-        x: &Tensor,
-        labels: &[usize],
-        lr: f32,
-    ) -> Result<f32, DnnError> {
+    pub fn train_step(&mut self, x: &Tensor, labels: &[usize], lr: f32) -> Result<f32, DnnError> {
         let (loss, grads) = self.loss_and_grads(x, labels)?;
         for (layer, grad) in self.layers.iter_mut().zip(&grads) {
             layer.apply_grads(grad, lr)?;
@@ -160,8 +151,7 @@ impl Mlp {
     /// Returns [`DnnError::ShapeMismatch`] on wrong input width.
     pub fn accuracy(&self, x: &Tensor, labels: &[usize]) -> Result<f64, DnnError> {
         let predictions = self.predict(x)?;
-        let correct =
-            predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+        let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
         Ok(correct as f64 / labels.len().max(1) as f64)
     }
 }
@@ -227,7 +217,7 @@ mod tests {
         let mut probe = model.clone();
         let eps = 1e-3f32;
         // Check one weight in each layer.
-        for layer_index in 0..3 {
+        for (layer_index, layer_grads) in grads.iter().enumerate() {
             let orig = probe.layers()[layer_index].weight().get(0, 0);
             probe.layers_mut()[layer_index].weight_mut().set(0, 0, orig + eps);
             let up = {
@@ -241,7 +231,7 @@ mod tests {
             };
             probe.layers_mut()[layer_index].weight_mut().set(0, 0, orig);
             let numeric = (up - down) / (2.0 * eps);
-            let analytic = grads[layer_index].weight.get(0, 0);
+            let analytic = layer_grads.weight.get(0, 0);
             assert!(
                 (numeric - analytic).abs() < 2e-2,
                 "layer {layer_index}: numeric {numeric} vs analytic {analytic}"

@@ -65,9 +65,8 @@ fn build_victim(mut model: Mlp, dataset: SyntheticDataset, epochs: usize) -> Vic
     let config = TrainConfig { epochs, ..TrainConfig::default() };
     Trainer::new(config).fit(&mut model, &dataset);
     let quantized = QuantizedMlp::quantize(&model);
-    let clean_accuracy = quantized
-        .accuracy(&dataset.test_x, &dataset.test_y)
-        .expect("victim shapes are consistent");
+    let clean_accuracy =
+        quantized.accuracy(&dataset.test_x, &dataset.test_y).expect("victim shapes are consistent");
     Victim { model: quantized, dataset, clean_accuracy }
 }
 
@@ -78,11 +77,7 @@ mod tests {
     #[test]
     fn tiny_victim_trains_well() {
         let victim = victim_tiny(11);
-        assert!(
-            victim.clean_accuracy > 0.7,
-            "clean accuracy {}",
-            victim.clean_accuracy
-        );
+        assert!(victim.clean_accuracy > 0.7, "clean accuracy {}", victim.clean_accuracy);
     }
 
     #[test]
@@ -103,8 +98,6 @@ mod tests {
         let r = resnet20_like(0);
         let v = vgg11_like(0);
         assert!(r.num_layers() > v.num_layers());
-        assert!(
-            v.total_weights() / v.num_layers() > r.total_weights() / r.num_layers()
-        );
+        assert!(v.total_weights() / v.num_layers() > r.total_weights() / r.num_layers());
     }
 }

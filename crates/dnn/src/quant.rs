@@ -203,8 +203,7 @@ impl QuantizedMlp {
     pub fn accuracy(&self, x: &Tensor, labels: &[usize]) -> Result<f64, DnnError> {
         let logits = self.forward(x)?;
         let predictions = argmax_rows(&logits);
-        let correct =
-            predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+        let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
         Ok(correct as f64 / labels.len().max(1) as f64)
     }
 
@@ -276,10 +275,7 @@ impl QuantizedMlp {
     /// Concatenated raw weight bytes of all layers (two's complement) —
     /// the image deployed into DRAM.
     pub fn weight_bytes(&self) -> Vec<u8> {
-        self.layers
-            .iter()
-            .flat_map(|l| l.qweights().iter().map(|&q| q as u8))
-            .collect()
+        self.layers.iter().flat_map(|l| l.qweights().iter().map(|&q| q as u8)).collect()
     }
 
     /// Overwrites all weights from a concatenated byte image.
@@ -378,14 +374,8 @@ mod tests {
     #[test]
     fn msb_flip_moves_weight_most() {
         let quantized = QuantizedMlp::quantize(&model());
-        let lsb = quantized
-            .flip_delta(BitIndex { layer: 0, weight: 0, bit: 0 })
-            .unwrap()
-            .abs();
-        let msb = quantized
-            .flip_delta(BitIndex { layer: 0, weight: 0, bit: 7 })
-            .unwrap()
-            .abs();
+        let lsb = quantized.flip_delta(BitIndex { layer: 0, weight: 0, bit: 0 }).unwrap().abs();
+        let msb = quantized.flip_delta(BitIndex { layer: 0, weight: 0, bit: 7 }).unwrap().abs();
         assert!(msb > lsb * 100.0, "msb {msb} vs lsb {lsb}");
     }
 

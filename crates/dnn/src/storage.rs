@@ -69,7 +69,12 @@ impl WeightLayout {
     }
 
     /// Physical byte address of a weight.
-    pub fn weight_phys_addr(&self, model: &QuantizedMlp, layer: usize, weight: usize) -> Option<u64> {
+    pub fn weight_phys_addr(
+        &self,
+        model: &QuantizedMlp,
+        layer: usize,
+        weight: usize,
+    ) -> Option<u64> {
         model.byte_offset(layer, weight).map(|offset| self.base_phys + offset as u64)
     }
 
@@ -87,13 +92,10 @@ impl WeightLayout {
         let phys = self
             .weight_phys_addr(model, index.layer, index.weight)
             .ok_or(DnnError::BadWeightIndex { layer: index.layer, index: index.weight })?;
-        let (row, col) = self
-            .mapper
-            .to_dram(phys)
-            .map_err(|_| DnnError::RegionTooSmall {
-                needed: phys,
-                available: self.mapper.capacity(),
-            })?;
+        let (row, col) = self.mapper.to_dram(phys).map_err(|_| DnnError::RegionTooSmall {
+            needed: phys,
+            available: self.mapper.capacity(),
+        })?;
         Ok((row, col * 8 + (index.bit & 7) as usize))
     }
 
@@ -108,8 +110,7 @@ impl WeightLayout {
         layer: usize,
         weight: usize,
     ) -> Result<RowAddr, DnnError> {
-        self.bit_location(model, BitIndex { layer, weight, bit: 0 })
-            .map(|(row, _)| row)
+        self.bit_location(model, BitIndex { layer, weight, bit: 0 }).map(|(row, _)| row)
     }
 
     /// Every DRAM row the weight image touches, in address order.
@@ -256,10 +257,7 @@ mod tests {
         let (mut dram, _, model) = setup();
         let mapper = AddressMapper::new(*dram.geometry(), MappingScheme::BankSequential);
         let layout = WeightLayout::new(mapper.capacity() - 4, mapper);
-        assert!(matches!(
-            layout.deploy(&model, &mut dram),
-            Err(DnnError::RegionTooSmall { .. })
-        ));
+        assert!(matches!(layout.deploy(&model, &mut dram), Err(DnnError::RegionTooSmall { .. })));
     }
 
     #[test]

@@ -47,11 +47,7 @@ impl Tensor {
     pub fn from_rows(rows: &[&[f32]]) -> Self {
         let cols = rows.first().map_or(0, |r| r.len());
         assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
-        Self {
-            rows: rows.len(),
-            cols,
-            data: rows.iter().flat_map(|r| r.iter().copied()).collect(),
-        }
+        Self { rows: rows.len(), cols, data: rows.iter().flat_map(|r| r.iter().copied()).collect() }
     }
 
     /// Builds a tensor from a flat row-major vector.

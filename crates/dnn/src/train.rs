@@ -90,8 +90,7 @@ impl Trainer {
             let mut epoch_loss = 0.0;
             let mut batches = 0;
             for start in 0..stride {
-                let indices: Vec<usize> =
-                    (0..batch).map(|k| (start + k * stride) % n).collect();
+                let indices: Vec<usize> = (0..batch).map(|k| (start + k * stride) % n).collect();
                 let mut xs = Vec::with_capacity(batch * dim);
                 let mut ys = Vec::with_capacity(batch);
                 for &index in &indices {
@@ -111,9 +110,8 @@ impl Trainer {
         let train_accuracy = model
             .accuracy(&dataset.train_x, &dataset.train_y)
             .expect("train shapes are consistent");
-        let test_accuracy = model
-            .accuracy(&dataset.test_x, &dataset.test_y)
-            .expect("test shapes are consistent");
+        let test_accuracy =
+            model.accuracy(&dataset.test_x, &dataset.test_y).expect("test shapes are consistent");
         TrainReport { final_loss, train_accuracy, test_accuracy, epochs: self.config.epochs }
     }
 }

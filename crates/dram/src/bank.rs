@@ -90,11 +90,7 @@ impl Bank {
     /// # Errors
     ///
     /// Returns [`DramError::IllegalCommand`] if the bank is already idle.
-    pub fn precharge(
-        &mut self,
-        now: u64,
-        timing: &TimingParams,
-    ) -> Result<(u64, u64), DramError> {
+    pub fn precharge(&mut self, now: u64, timing: &TimingParams) -> Result<(u64, u64), DramError> {
         if self.state == BankState::Idle {
             return Err(DramError::IllegalCommand { detail: "PRE on idle bank".to_owned() });
         }
@@ -110,11 +106,7 @@ impl Bank {
     /// # Errors
     ///
     /// Returns [`DramError::IllegalCommand`] if no row is open.
-    pub fn read(
-        &mut self,
-        now: u64,
-        timing: &TimingParams,
-    ) -> Result<(u64, u64), DramError> {
+    pub fn read(&mut self, now: u64, timing: &TimingParams) -> Result<(u64, u64), DramError> {
         self.column_access(now, timing.cl, timing.tccd, "RD")
     }
 
@@ -123,11 +115,7 @@ impl Bank {
     /// # Errors
     ///
     /// Returns [`DramError::IllegalCommand`] if no row is open.
-    pub fn write(
-        &mut self,
-        now: u64,
-        timing: &TimingParams,
-    ) -> Result<(u64, u64), DramError> {
+    pub fn write(&mut self, now: u64, timing: &TimingParams) -> Result<(u64, u64), DramError> {
         self.column_access(now, timing.twr, timing.tccd, "WR")
     }
 
@@ -139,9 +127,7 @@ impl Bank {
         what: &str,
     ) -> Result<(u64, u64), DramError> {
         if self.state == BankState::Idle {
-            return Err(DramError::IllegalCommand {
-                detail: format!("{what} on idle bank"),
-            });
+            return Err(DramError::IllegalCommand { detail: format!("{what} on idle bank") });
         }
         let start = now.max(self.busy_until);
         let done = start + latency;

@@ -157,10 +157,7 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let cmd = DramCommand::Aap {
-            src: RowAddr::new(0, 1, 2),
-            dst: RowAddr::new(0, 1, 3),
-        };
+        let cmd = DramCommand::Aap { src: RowAddr::new(0, 1, 2), dst: RowAddr::new(0, 1, 3) };
         assert_eq!(cmd.to_string(), "AAP b0.s1.r2 -> b0.s1.r3");
     }
 

@@ -98,8 +98,7 @@ impl DramDevice {
         let storage = (0..geometry.banks as usize * geometry.subarrays_per_bank as usize)
             .map(|_| Subarray::new(geometry.row_bytes))
             .collect();
-        let clone_engine =
-            RowCloneEngine::new(config.timing, config.energy, geometry.row_bytes);
+        let clone_engine = RowCloneEngine::new(config.timing, config.energy, geometry.row_bytes);
         Self {
             banks,
             storage,
@@ -412,8 +411,7 @@ impl DramDevice {
                 let data = self.read_row(src)?;
                 self.write_row(dst, &data)?;
                 // PSM activates both rows once.
-                let mut disturbances =
-                    self.hammer.on_activate(src, &self.config.geometry);
+                let mut disturbances = self.hammer.on_activate(src, &self.config.geometry);
                 disturbances.extend(self.hammer.on_activate(dst, &self.config.geometry));
                 self.apply_disturbances(&disturbances)?;
                 self.clock = start + latency;
@@ -517,10 +515,7 @@ mod tests {
         let bad_bank = RowAddr::new(99, 0, 0);
         assert_eq!(dram.issue(DramCommand::Act(bad_bank)), Err(DramError::InvalidBank(99)));
         let bad_row = RowAddr::new(0, 0, 10_000);
-        assert!(matches!(
-            dram.issue(DramCommand::Act(bad_row)),
-            Err(DramError::InvalidRow(_))
-        ));
+        assert!(matches!(dram.issue(DramCommand::Act(bad_row)), Err(DramError::InvalidRow(_))));
     }
 
     #[test]

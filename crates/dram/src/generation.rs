@@ -118,8 +118,7 @@ mod tests {
     fn lpddr4_new_vs_ddr3_new_ratio_about_4_5x() {
         // The paper: "LPDDR4 (new) requires approximately 4.5 times fewer
         // hammering iterations" than DDR3 (new). 22_400 / 4_800 = 4.67.
-        let ratio =
-            DramGeneration::Ddr3New.trh() as f64 / DramGeneration::Lpddr4New.trh() as f64;
+        let ratio = DramGeneration::Ddr3New.trh() as f64 / DramGeneration::Lpddr4New.trh() as f64;
         assert!((4.0..5.0).contains(&ratio), "ratio {ratio}");
     }
 

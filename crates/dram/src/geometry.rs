@@ -216,10 +216,7 @@ mod tests {
         assert_eq!(first.neighbor(1, &geom), Some(RowAddr::new(0, 0, 1)));
         let last = RowAddr::new(0, 0, geom.rows_per_subarray - 1);
         assert_eq!(last.neighbor(1, &geom), None);
-        assert_eq!(
-            last.neighbor(-2, &geom),
-            Some(RowAddr::new(0, 0, geom.rows_per_subarray - 3))
-        );
+        assert_eq!(last.neighbor(-2, &geom), Some(RowAddr::new(0, 0, geom.rows_per_subarray - 3)));
     }
 
     #[test]
@@ -234,10 +231,7 @@ mod tests {
     #[test]
     fn capacity_matches_product() {
         let geom = DramGeometry::paper_scaled();
-        assert_eq!(
-            geom.capacity_bytes(),
-            16u64 * 32 * 512 * 8192,
-        );
+        assert_eq!(geom.capacity_bytes(), 16u64 * 32 * 512 * 8192,);
     }
 
     #[test]

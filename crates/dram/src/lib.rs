@@ -53,13 +53,13 @@ pub mod stats;
 pub mod subarray;
 pub mod timing;
 
-pub use bank::{Bank, BankState};
-pub use command::{CommandKind, CommandResult, DramCommand};
-pub use device::{DramConfig, DramDevice};
-pub use error::DramError;
-pub use generation::DramGeneration;
-pub use geometry::{BankId, DramGeometry, RowAddr, RowId, SubarrayId};
-pub use rowclone::{CloneMode, RowCloneEngine};
-pub use rowhammer::{DisturbanceEvent, FlipTarget, HammerTracker, RowHammerConfig};
-pub use stats::{DramStats, EnergyModel};
-pub use timing::TimingParams;
+pub use crate::bank::{Bank, BankState};
+pub use crate::command::{CommandKind, CommandResult, DramCommand};
+pub use crate::device::{DramConfig, DramDevice};
+pub use crate::error::DramError;
+pub use crate::generation::DramGeneration;
+pub use crate::geometry::{BankId, DramGeometry, RowAddr, RowId, SubarrayId};
+pub use crate::rowclone::{CloneMode, RowCloneEngine};
+pub use crate::rowhammer::{DisturbanceEvent, FlipTarget, HammerTracker, RowHammerConfig};
+pub use crate::stats::{DramStats, EnergyModel};
+pub use crate::timing::TimingParams;

@@ -85,7 +85,15 @@ pub struct HammerTracker {
 
 impl HammerTracker {
     /// Creates a tracker with the given disturbance model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.trh == 0`: a zero threshold would silently
+    /// disable disturbance generation (`is_multiple_of(0)` is never
+    /// true), masking a misconfigured experiment as a hammer-immune
+    /// device.
     pub fn new(config: RowHammerConfig) -> Self {
+        assert!(config.trh > 0, "RowHammerConfig::trh must be nonzero");
         Self {
             config,
             counts: HashMap::new(),
@@ -123,22 +131,18 @@ impl HammerTracker {
 
     /// Records one activation of `row` and returns any disturbance
     /// events it triggers on neighbouring victims.
-    pub fn on_activate(
-        &mut self,
-        row: RowAddr,
-        geometry: &DramGeometry,
-    ) -> Vec<DisturbanceEvent> {
+    pub fn on_activate(&mut self, row: RowAddr, geometry: &DramGeometry) -> Vec<DisturbanceEvent> {
         let id = geometry.row_id(row);
         let count = self.counts.entry(id).or_insert(0);
         *count += 1;
-        if *count % self.config.trh != 0 {
+        if !(*count).is_multiple_of(self.config.trh) {
             return Vec::new();
         }
         let crossing = *count / self.config.trh;
         let mut events = Vec::new();
         let mut offsets: Vec<i64> = vec![-1, 1];
         if self.config.half_double_factor > 0
-            && crossing % self.config.half_double_factor == 0
+            && crossing.is_multiple_of(self.config.half_double_factor)
         {
             offsets.extend([-2, 2]);
         }

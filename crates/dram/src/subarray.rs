@@ -83,8 +83,7 @@ impl Subarray {
                 row_bytes: self.row_bytes,
             });
         }
-        let row_data =
-            self.rows.entry(row).or_insert_with(|| vec![0; self.row_bytes]);
+        let row_data = self.rows.entry(row).or_insert_with(|| vec![0; self.row_bytes]);
         row_data[col..col + bytes.len()].copy_from_slice(bytes);
         Ok(())
     }
@@ -99,8 +98,7 @@ impl Subarray {
         if bit >= self.row_bytes * 8 {
             return Err(DramError::InvalidColumn { col: bit / 8, row_bytes: self.row_bytes });
         }
-        let row_data =
-            self.rows.entry(row).or_insert_with(|| vec![0; self.row_bytes]);
+        let row_data = self.rows.entry(row).or_insert_with(|| vec![0; self.row_bytes]);
         let byte = bit / 8;
         let mask = 1u8 << (bit % 8);
         row_data[byte] ^= mask;
@@ -112,11 +110,7 @@ impl Subarray {
         if bit >= self.row_bytes * 8 {
             return Err(DramError::InvalidColumn { col: bit / 8, row_bytes: self.row_bytes });
         }
-        Ok(self
-            .rows
-            .get(&row)
-            .map(|data| data[bit / 8] & (1 << (bit % 8)) != 0)
-            .unwrap_or(false))
+        Ok(self.rows.get(&row).map(|data| data[bit / 8] & (1 << (bit % 8)) != 0).unwrap_or(false))
     }
 
     /// Copies row `src` over row `dst` (the functional effect of a

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use dlk_dram::{
-    CommandKind, DramCommand, DramConfig, DramDevice, DramGeometry, RowAddr,
-};
+use dlk_dram::{CommandKind, DramCommand, DramConfig, DramDevice, DramGeometry, RowAddr};
 
 proptest! {
     /// Any legal ACT→(RD|WR)*→PRE sequence advances the clock
@@ -55,7 +53,7 @@ proptest! {
         let mut dram = DramDevice::new(DramConfig::tiny_for_tests());
         let src = RowAddr::new(1, 1, src_row);
         let dst = RowAddr::new(1, 1, dst_row);
-        dram.write_row(src, &vec![fill; 64]).unwrap();
+        dram.write_row(src, &[fill; 64]).unwrap();
         dram.issue(DramCommand::Aap { src, dst }).unwrap();
         prop_assert_eq!(dram.read_row(dst).unwrap(), vec![fill; 64]);
         prop_assert_eq!(dram.read_row(src).unwrap(), vec![fill; 64]);

@@ -382,16 +382,15 @@ mod tests {
         let a = RowAddr::new(0, 0, 1);
         let b = RowAddr::new(0, 0, 2);
         let buf = RowAddr::new(0, 0, 63);
-        dram.write_row(a, &vec![0xAA; 64]).unwrap();
-        dram.write_row(b, &vec![0xBB; 64]).unwrap();
+        dram.write_row(a, &[0xAA; 64]).unwrap();
+        dram.write_row(b, &[0xBB; 64]).unwrap();
 
         let mut regs = RegFile::new();
         regs.bind_row(0, a);
         regs.bind_row(1, b);
         regs.bind_row(2, buf);
-        let report = MicroExecutor::new()
-            .run(&MicroProgram::swap(0, 1, 2), &mut regs, &mut dram)
-            .unwrap();
+        let report =
+            MicroExecutor::new().run(&MicroProgram::swap(0, 1, 2), &mut regs, &mut dram).unwrap();
         assert_eq!(report.copies, 3);
         assert!(report.cycles > 0);
         assert_eq!(dram.read_row(a).unwrap(), vec![0xBB; 64]);

@@ -57,12 +57,12 @@ pub mod software;
 pub mod stats;
 pub mod swap;
 
-pub use config::{LockTarget, LockerConfig};
-pub use error::LockerError;
-pub use isa::{Instruction, IsaError, MicroExecutor, MicroProgram, RegFile};
-pub use locker::DramLocker;
-pub use locktable::LockTable;
-pub use sequence::{Sequence, SequenceEntry};
-pub use software::ProtectionPlan;
-pub use stats::LockerStats;
-pub use swap::{SwapEngine, SwapOutcome};
+pub use crate::config::{LockTarget, LockerConfig};
+pub use crate::error::LockerError;
+pub use crate::isa::{Instruction, IsaError, MicroExecutor, MicroProgram, RegFile};
+pub use crate::locker::DramLocker;
+pub use crate::locktable::LockTable;
+pub use crate::sequence::{Sequence, SequenceEntry};
+pub use crate::software::ProtectionPlan;
+pub use crate::stats::LockerStats;
+pub use crate::swap::{SwapEngine, SwapOutcome};

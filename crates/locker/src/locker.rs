@@ -171,8 +171,7 @@ impl DramLocker {
         home: RowAddr,
         dram: &mut DramDevice,
     ) -> Result<RowAddr, LockerError> {
-        let free =
-            self.engine.pick_free_row(&self.geometry, home, &self.free_in_use)?;
+        let free = self.engine.pick_free_row(&self.geometry, home, &self.free_in_use)?;
         let outcome = self.engine.execute(dram, home, free)?;
         self.stats.swaps += 1;
         self.stats.copies_issued += 3;
@@ -320,7 +319,7 @@ mod tests {
     fn trusted_access_triggers_swap_and_redirect() {
         let (mut locker, mut dram) = setup();
         let row = RowAddr::new(0, 0, 5);
-        dram.write_row(row, &vec![0x77; 64]).unwrap();
+        dram.write_row(row, &[0x77; 64]).unwrap();
         locker.lock_row(row).unwrap();
         let action = locker.before_access(&read_req(false), row, &mut dram);
         let HookAction::Redirect(new_row) = action else {
@@ -355,7 +354,7 @@ mod tests {
         let mut locker = DramLocker::new(locker_config, config.geometry);
         let mut dram = DramDevice::new(config);
         let row = RowAddr::new(0, 0, 5);
-        dram.write_row(row, &vec![0x42; 64]).unwrap();
+        dram.write_row(row, &[0x42; 64]).unwrap();
         locker.lock_row(row).unwrap();
         locker.before_access(&read_req(false), row, &mut dram);
         assert_eq!(locker.moved_count(), 1);

@@ -102,9 +102,8 @@ impl Sequence {
     /// the bulk discard of an attacker's pending hammer burst.
     pub fn skip_all_for(&mut self, row: RowId) -> u64 {
         let before = self.entries.len();
-        self.entries.retain(|entry| {
-            !matches!(entry, SequenceEntry::ReadWrite { row: r, .. } if *r == row)
-        });
+        self.entries
+            .retain(|entry| !matches!(entry, SequenceEntry::ReadWrite { row: r, .. } if *r == row));
         let dropped = (before - self.entries.len()) as u64;
         self.skipped += dropped;
         dropped

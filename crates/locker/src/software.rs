@@ -88,9 +88,8 @@ impl ProtectionPlan {
         let row_bytes = geometry.row_bytes as u64;
         let mut phys = start;
         while phys < end {
-            let (row, _) = mapper
-                .to_dram(phys)
-                .map_err(|_| LockerError::BadRange { start, end })?;
+            let (row, _) =
+                mapper.to_dram(phys).map_err(|_| LockerError::BadRange { start, end })?;
             self.data_rows.insert((row.bank, row.subarray, row.row));
             match self.target {
                 LockTarget::DataRows => {
@@ -165,9 +164,9 @@ impl ProtectionPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::LockerConfig;
     use dlk_dram::DramGeometry;
     use dlk_memctrl::MappingScheme;
-    use crate::config::LockerConfig;
 
     fn mapper() -> AddressMapper {
         AddressMapper::new(DramGeometry::tiny(), MappingScheme::BankSequential)

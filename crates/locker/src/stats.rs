@@ -62,12 +62,7 @@ mod tests {
 
     #[test]
     fn failure_rate_over_all_swap_kinds() {
-        let stats = LockerStats {
-            swaps: 3,
-            relocks: 1,
-            swap_failures: 1,
-            ..Default::default()
-        };
+        let stats = LockerStats { swaps: 3, relocks: 1, swap_failures: 1, ..Default::default() };
         assert!((stats.swap_failure_rate() - 0.25).abs() < 1e-12);
     }
 }

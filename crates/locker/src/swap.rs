@@ -97,10 +97,7 @@ impl SwapEngine {
             .filter(|row| !in_use.contains(&geometry.row_id(*row)))
             .collect();
         if pool.is_empty() {
-            return Err(LockerError::NoFreeRow {
-                bank: locked.bank,
-                subarray: locked.subarray,
-            });
+            return Err(LockerError::NoFreeRow { bank: locked.bank, subarray: locked.subarray });
         }
         Ok(pool[self.rng.random_range(0..pool.len())])
     }
@@ -167,8 +164,8 @@ mod tests {
         let (mut dram, mut engine) = setup(0.0);
         let a = RowAddr::new(0, 0, 3);
         let b = RowAddr::new(0, 0, 40);
-        dram.write_row(a, &vec![0x11; 64]).unwrap();
-        dram.write_row(b, &vec![0x22; 64]).unwrap();
+        dram.write_row(a, &[0x11; 64]).unwrap();
+        dram.write_row(b, &[0x22; 64]).unwrap();
         let outcome = engine.execute(&mut dram, a, b).unwrap();
         assert!(outcome.success);
         assert_eq!(outcome.program.len(), 4);
@@ -182,7 +179,7 @@ mod tests {
         let (mut dram, mut engine) = setup(0.0);
         let a = RowAddr::new(0, 1, 3);
         let b = RowAddr::new(0, 1, 40);
-        dram.write_row(a, &vec![0xAB; 64]).unwrap();
+        dram.write_row(a, &[0xAB; 64]).unwrap();
         engine.execute(&mut dram, a, b).unwrap();
         engine.execute(&mut dram, a, b).unwrap();
         assert_eq!(dram.read_row(a).unwrap(), vec![0xAB; 64]);
@@ -193,8 +190,8 @@ mod tests {
         let (mut dram, mut engine) = setup(1.0); // every copy fails
         let a = RowAddr::new(0, 0, 3);
         let b = RowAddr::new(0, 0, 40);
-        dram.write_row(a, &vec![0u8; 64]).unwrap();
-        dram.write_row(b, &vec![0u8; 64]).unwrap();
+        dram.write_row(a, &[0u8; 64]).unwrap();
+        dram.write_row(b, &[0u8; 64]).unwrap();
         let outcome = engine.execute(&mut dram, a, b).unwrap();
         assert!(!outcome.success);
         assert_eq!(outcome.failed_copies, vec![0, 1, 2]);

@@ -47,7 +47,7 @@ proptest! {
         let mut locker = DramLocker::new(LockerConfig::default(), config.geometry);
         let mut dram = DramDevice::new(config);
         let row = RowAddr::new(0, 1, 5);
-        dram.write_row(row, &vec![0x3C; 64]).unwrap();
+        dram.write_row(row, &[0x3C; 64]).unwrap();
         locker.lock_row(row).unwrap();
         for _ in 0..accesses {
             let action = locker.before_access(&read_request(false), row, &mut dram);
@@ -73,7 +73,7 @@ proptest! {
         let mut locker = DramLocker::new(locker_config, config.geometry);
         let mut dram = DramDevice::new(config);
         let row = RowAddr::new(0, 0, 7);
-        dram.write_row(row, &vec![0x77; 64]).unwrap();
+        dram.write_row(row, &[0x77; 64]).unwrap();
         locker.lock_row(row).unwrap();
         for _ in 0..batches {
             // Touch the locked row, then enough other traffic to

@@ -251,10 +251,7 @@ impl MemoryController {
         }
         let (row, col) = self.mapper.to_dram(request.addr)?;
         if col + request.len > self.geometry().row_bytes {
-            return Err(MemCtrlError::SpansRowBoundary {
-                addr: request.addr,
-                len: request.len,
-            });
+            return Err(MemCtrlError::SpansRowBoundary { addr: request.addr, len: request.len });
         }
         let mut latency = self.hook.check_latency();
         let action = self.hook.before_access(&request, row, &mut self.dram);
@@ -328,10 +325,7 @@ mod tests {
         let mut ctrl = MemoryController::new(MemCtrlConfig::tiny_for_tests());
         let row_bytes = ctrl.geometry().row_bytes;
         let req = MemRequest::read(row_bytes as u64 - 1, 2);
-        assert!(matches!(
-            ctrl.service(req),
-            Err(MemCtrlError::SpansRowBoundary { .. })
-        ));
+        assert!(matches!(ctrl.service(req), Err(MemCtrlError::SpansRowBoundary { .. })));
     }
 
     #[test]

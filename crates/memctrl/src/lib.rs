@@ -39,11 +39,11 @@ pub mod request;
 pub mod scheduler;
 pub mod trace;
 
-pub use controller::{CompletedRequest, ControllerStats, MemCtrlConfig, MemoryController};
-pub use error::MemCtrlError;
-pub use interpose::{DefenseHook, HookAction, NoDefense};
-pub use mapping::{AddressMapper, MappingScheme};
-pub use pagetable::{PageTable, PageTableConfig, Pte, VirtAddr};
-pub use request::{MemRequest, RequestKind};
-pub use scheduler::{RequestQueue, SchedulingPolicy};
-pub use trace::{Trace, TraceOp};
+pub use crate::controller::{CompletedRequest, ControllerStats, MemCtrlConfig, MemoryController};
+pub use crate::error::MemCtrlError;
+pub use crate::interpose::{DefenseHook, HookAction, NoDefense};
+pub use crate::mapping::{AddressMapper, MappingScheme};
+pub use crate::pagetable::{PageTable, PageTableConfig, Pte, VirtAddr};
+pub use crate::request::{MemRequest, RequestKind};
+pub use crate::scheduler::{RequestQueue, SchedulingPolicy};
+pub use crate::trace::{Trace, TraceOp};

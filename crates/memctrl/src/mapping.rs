@@ -113,14 +113,13 @@ impl AddressMapper {
         let row_bytes = self.geometry.row_bytes as u64;
         let global_row = match self.scheme {
             MappingScheme::BankSequential => {
-                (addr.bank as u64 * self.geometry.subarrays_per_bank as u64
-                    + addr.subarray as u64)
+                (addr.bank as u64 * self.geometry.subarrays_per_bank as u64 + addr.subarray as u64)
                     * self.geometry.rows_per_subarray as u64
                     + addr.row as u64
             }
             MappingScheme::RowInterleaved => {
-                let within_bank = addr.subarray as u64 * self.geometry.rows_per_subarray as u64
-                    + addr.row as u64;
+                let within_bank =
+                    addr.subarray as u64 * self.geometry.rows_per_subarray as u64 + addr.row as u64;
                 within_bank * self.geometry.banks as u64 + addr.bank as u64
             }
         };

@@ -235,9 +235,7 @@ impl PageTable {
 
     fn check_vpn(&self, vpn: u64) -> Result<(), MemCtrlError> {
         if vpn >= self.config.num_pages {
-            return Err(MemCtrlError::TranslationFault {
-                vaddr: vpn * self.config.page_size,
-            });
+            return Err(MemCtrlError::TranslationFault { vaddr: vpn * self.config.page_size });
         }
         Ok(())
     }
@@ -246,8 +244,8 @@ impl PageTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dlk_dram::DramConfig;
     use crate::mapping::MappingScheme;
+    use dlk_dram::DramConfig;
 
     fn setup() -> (DramDevice, AddressMapper, PageTable) {
         let dram = DramDevice::new(DramConfig::tiny_for_tests());

@@ -86,9 +86,7 @@ impl RequestQueue {
             SchedulingPolicy::FrFcfs => self
                 .pending
                 .iter()
-                .position(|(_, row)| {
-                    row.is_some_and(|r| open_row(r.bank) == Some(r))
-                })
+                .position(|(_, row)| row.is_some_and(|r| open_row(r.bank) == Some(r)))
                 .unwrap_or(0),
         };
         self.pending.remove(index).map(|(req, _)| req)

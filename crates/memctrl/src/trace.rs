@@ -92,9 +92,8 @@ impl Trace {
     /// `count` reads of `len` bytes each, starting at `base`, advancing
     /// by `stride` bytes.
     pub fn sequential_reads(base: u64, stride: u64, len: usize, count: usize) -> Self {
-        let ops = (0..count)
-            .map(|i| TraceOp::Read { addr: base + i as u64 * stride, len })
-            .collect();
+        let ops =
+            (0..count).map(|i| TraceOp::Read { addr: base + i as u64 * stride, len }).collect();
         Self { ops, untrusted: false }
     }
 
@@ -201,8 +200,7 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let trace: Trace =
-            (0..4).map(|i| TraceOp::Read { addr: i * 8, len: 1 }).collect();
+        let trace: Trace = (0..4).map(|i| TraceOp::Read { addr: i * 8, len: 1 }).collect();
         assert_eq!(trace.len(), 4);
         assert!(!trace.untrusted);
     }

@@ -89,8 +89,7 @@ impl CactiModel {
     pub fn array(&self, kind: ArrayKind, bytes: u64) -> ArrayModel {
         let kb = (bytes.max(1) as f64 / 1024.0).max(1.0);
         // Decoder term: log2 of capacity; wire term: sqrt of capacity.
-        let access_ns =
-            kind.base_latency_ns() * (1.0 + 0.12 * kb.log2() + 0.015 * kb.sqrt());
+        let access_ns = kind.base_latency_ns() * (1.0 + 0.12 * kb.log2() + 0.015 * kb.sqrt());
         let access_pj = kind.base_energy_pj() * (1.0 + 0.25 * kb.sqrt());
         let f_m = self.feature_nm * 1e-9;
         let cell_m2 = kind.cell_f2() * f_m * f_m;

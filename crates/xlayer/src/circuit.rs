@@ -34,12 +34,7 @@ pub struct VariationConfig {
 
 impl Default for VariationConfig {
     fn default() -> Self {
-        Self {
-            cell_cap_ff: 24.0,
-            bitline_cap_ff: 85.0,
-            vdd: 1.1,
-            threshold_fraction: 0.87,
-        }
+        Self { cell_cap_ff: 24.0, bitline_cap_ff: 85.0, vdd: 1.1, threshold_fraction: 0.87 }
     }
 }
 
@@ -131,10 +126,7 @@ impl MonteCarlo {
 
     /// The paper's sweep: 10,000 trials at ±0%, ±10% and ±20%.
     pub fn paper_sweep(&self, seed: u64) -> Vec<MonteCarloReport> {
-        [0.0, 0.10, 0.20]
-            .iter()
-            .map(|&v| self.run(v, 10_000, seed))
-            .collect()
+        [0.0, 0.10, 0.20].iter().map(|&v| self.run(v, 10_000, seed)).collect()
     }
 }
 
@@ -167,8 +159,10 @@ mod tests {
     #[test]
     fn failure_rate_monotone_in_variation() {
         let mc = MonteCarlo::default();
-        let rates: Vec<f64> =
-            [0.0, 0.05, 0.10, 0.15, 0.20].iter().map(|&v| mc.run(v, 5_000, 3).failure_rate()).collect();
+        let rates: Vec<f64> = [0.0, 0.05, 0.10, 0.15, 0.20]
+            .iter()
+            .map(|&v| mc.run(v, 5_000, 3).failure_rate())
+            .collect();
         for pair in rates.windows(2) {
             assert!(pair[0] <= pair[1] + 1e-9, "rates {rates:?}");
         }

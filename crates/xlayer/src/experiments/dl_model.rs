@@ -31,11 +31,7 @@ pub struct DlLatencyModel {
 impl Default for DlLatencyModel {
     fn default() -> Self {
         let timing = TimingParams::ddr4_2400();
-        Self {
-            timing,
-            touch_probability: 0.05,
-            swap_cycles: 3 * timing.rowclone_cycles(),
-        }
+        Self { timing, touch_probability: 0.05, swap_cycles: 3 * timing.rowclone_cycles() }
     }
 }
 

@@ -41,8 +41,7 @@ pub fn run(fidelity: Fidelity) -> Fig1a {
     let (x, y) = victim.dataset.test_sample(sample, 0);
 
     let mut bfa_model = victim.model.clone();
-    let bfa_curve =
-        BitSearch::new(BfaConfig::default()).run(&mut bfa_model, &x, &y, flips);
+    let bfa_curve = BitSearch::new(BfaConfig::default()).run(&mut bfa_model, &x, &y, flips);
     let mut bfa = Series::new("BFA");
     for point in &bfa_curve.points {
         bfa.push(point.flips as f64, point.accuracy * 100.0);

@@ -75,8 +75,7 @@ mod tests {
     fn newer_parts_give_attackers_more_campaigns() {
         let all = rows();
         let ddr3_old = all.iter().find(|r| r.generation == DramGeneration::Ddr3Old).unwrap();
-        let lpddr4_new =
-            all.iter().find(|r| r.generation == DramGeneration::Lpddr4New).unwrap();
+        let lpddr4_new = all.iter().find(|r| r.generation == DramGeneration::Lpddr4New).unwrap();
         assert!(lpddr4_new.campaigns_per_window > 10 * ddr3_old.campaigns_per_window);
     }
 

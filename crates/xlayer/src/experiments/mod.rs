@@ -20,11 +20,11 @@
 
 pub mod dl_model;
 pub mod fig1a;
-pub mod generations;
 pub mod fig1b;
 pub mod fig7a;
 pub mod fig7b;
 pub mod fig8;
+pub mod generations;
 pub mod mc_variation;
 pub mod overhead_inference;
 pub mod pta;

@@ -33,8 +33,9 @@ fn stream_weights(lock_target: Option<LockTarget>) -> Result<OverheadRun, MemCtr
     let config = MemCtrlConfig::tiny_for_tests();
     let mut ctrl = MemoryController::new(config);
     let layout = WeightLayout::new(0x400, *ctrl.mapper());
-    layout.deploy(&victim.model, ctrl.dram_mut()).map_err(|_| {
-        MemCtrlError::AddressOutOfRange { addr: 0x400, capacity: ctrl.mapper().capacity() }
+    layout.deploy(&victim.model, ctrl.dram_mut()).map_err(|_| MemCtrlError::AddressOutOfRange {
+        addr: 0x400,
+        capacity: ctrl.mapper().capacity(),
     })?;
     let (start, end) = layout.phys_range(&victim.model);
     let label = match lock_target {
@@ -44,8 +45,7 @@ fn stream_weights(lock_target: Option<LockTarget>) -> Result<OverheadRun, MemCtr
             let mut plan = ProtectionPlan::new(target);
             plan.protect_range(ctrl.mapper(), start, end)
                 .map_err(|_| MemCtrlError::TranslationFault { vaddr: start })?;
-            plan.apply(&mut locker)
-                .map_err(|_| MemCtrlError::TranslationFault { vaddr: start })?;
+            plan.apply(&mut locker).map_err(|_| MemCtrlError::TranslationFault { vaddr: start })?;
             ctrl.set_hook(Box::new(locker));
             format!("locker ({target:?})")
         }
@@ -79,8 +79,7 @@ pub fn run() -> Result<Table, MemCtrlError> {
         stream_weights(Some(LockTarget::AdjacentRows))?,
         stream_weights(Some(LockTarget::DataRows))?,
     ] {
-        let overhead =
-            (run.cycles as f64 / baseline.cycles as f64 - 1.0) * 100.0;
+        let overhead = (run.cycles as f64 / baseline.cycles as f64 - 1.0) * 100.0;
         table.row_owned(vec![
             run.label.clone(),
             run.cycles.to_string(),

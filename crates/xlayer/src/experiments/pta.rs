@@ -69,14 +69,10 @@ impl PtaBench {
             while start + offset < end {
                 let (row, col) = mapper.to_dram(phys + offset as u64)?;
                 let take = (mapper.geometry().row_bytes - col).min(end - start - offset);
-                let mut row_data =
-                    controller.dram().read_row(row).map_err(MemCtrlError::Dram)?;
+                let mut row_data = controller.dram().read_row(row).map_err(MemCtrlError::Dram)?;
                 row_data[col..col + take]
                     .copy_from_slice(&weight_bytes[start + offset..start + offset + take]);
-                controller
-                    .dram_mut()
-                    .write_row(row, &row_data)
-                    .map_err(MemCtrlError::Dram)?;
+                controller.dram_mut().write_row(row, &row_data).map_err(MemCtrlError::Dram)?;
                 offset += take;
             }
         }
@@ -84,15 +80,11 @@ impl PtaBench {
         // the attacker can only activate its own (adjacent) rows.
         let table_bytes = pages * 8;
         controller.os_protect_range(TABLE_BASE, TABLE_BASE + table_bytes);
-        controller.os_protect_range(
-            WEIGHT_PFN * PAGE_SIZE,
-            (WEIGHT_PFN + pages) * PAGE_SIZE,
-        );
+        controller.os_protect_range(WEIGHT_PFN * PAGE_SIZE, (WEIGHT_PFN + pages) * PAGE_SIZE);
         if defended {
             // DRAM-Locker guards the page-table rows: the protection
             // plan locks the rows an attacker must hammer.
-            let mut locker =
-                DramLocker::new(LockerConfig::default(), mapper.geometry().to_owned());
+            let mut locker = DramLocker::new(LockerConfig::default(), mapper.geometry().to_owned());
             let mut plan = ProtectionPlan::new(LockTarget::AdjacentRows);
 
             plan.protect_range(&mapper, TABLE_BASE, TABLE_BASE + table_bytes)
@@ -122,9 +114,7 @@ impl PtaBench {
             bytes.extend_from_slice(done.data.as_deref().unwrap_or(&[]));
         }
         let mut model = self.victim.model.clone();
-        model
-            .load_weight_bytes(&bytes)
-            .map_err(|_| MemCtrlError::TranslationFault { vaddr: 0 })?;
+        model.load_weight_bytes(&bytes).map_err(|_| MemCtrlError::TranslationFault { vaddr: 0 })?;
         Ok(model)
     }
 

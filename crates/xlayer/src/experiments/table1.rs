@@ -30,11 +30,8 @@ pub fn run() -> Table {
             .collect::<Vec<_>>()
             .into_iter()
             .collect();
-        let capacity: Vec<String> = row
-            .capacity
-            .iter()
-            .map(|o| format!("{} {}", format_bytes(o.bytes), o.kind))
-            .collect();
+        let capacity: Vec<String> =
+            row.capacity.iter().map(|o| format!("{} {}", format_bytes(o.bytes), o.kind)).collect();
         let area = match (row.area_pct, row.counters) {
             (Some(pct), _) => format!("{pct}%"),
             (None, Some(counters)) => format!("{counters} counter(s)"),
@@ -72,8 +69,16 @@ mod tests {
         assert_eq!(table.rows.len(), 10);
         let text = table.to_string();
         for framework in [
-            "Graphene", "Hydra", "TWiCE", "Counter per Row", "Counter Tree", "RRS", "SRS",
-            "SHADOW", "P-PIM", "DRAM-Locker",
+            "Graphene",
+            "Hydra",
+            "TWiCE",
+            "Counter per Row",
+            "Counter Tree",
+            "RRS",
+            "SRS",
+            "SHADOW",
+            "P-PIM",
+            "DRAM-Locker",
         ] {
             assert!(text.contains(framework), "missing {framework}");
         }

@@ -32,7 +32,7 @@ pub mod experiments;
 pub mod optimizer;
 pub mod report;
 
-pub use cacti::{ArrayKind, ArrayModel, CactiModel};
-pub use circuit::{MonteCarlo, MonteCarloReport, VariationConfig};
-pub use optimizer::{Optimizer, PerformanceParams};
-pub use report::{Series, Table};
+pub use crate::cacti::{ArrayKind, ArrayModel, CactiModel};
+pub use crate::circuit::{MonteCarlo, MonteCarloReport, VariationConfig};
+pub use crate::optimizer::{Optimizer, PerformanceParams};
+pub use crate::report::{Series, Table};

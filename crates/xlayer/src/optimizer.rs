@@ -66,15 +66,8 @@ impl Optimizer {
         let checks = locker.rw_seen as f64;
         let defense_latency_s =
             timing.cycles_to_s(locker.swap_cycles) + checks * table.access_ns * 1e-9;
-        let defense_energy_j =
-            locker.swap_energy_pj * 1e-12 + checks * table.access_pj * 1e-12;
-        PerformanceParams {
-            latency_s,
-            energy_j,
-            defense_latency_s,
-            defense_energy_j,
-            accuracy,
-        }
+        let defense_energy_j = locker.swap_energy_pj * 1e-12 + checks * table.access_pj * 1e-12;
+        PerformanceParams { latency_s, energy_j, defense_latency_s, defense_energy_j, accuracy }
     }
 }
 
@@ -98,12 +91,8 @@ mod tests {
     fn swap_cycles_show_up_as_defense_latency() {
         let locker = LockerStats { swap_cycles: 1_200_000, rw_seen: 10, ..Default::default() };
         let dram = DramStats { cycles: 12_000_000, ..Default::default() };
-        let params = Optimizer::new().evaluate(
-            &dram,
-            &locker,
-            &TimingParams::ddr4_2400(),
-            Some(0.9),
-        );
+        let params =
+            Optimizer::new().evaluate(&dram, &locker, &TimingParams::ddr4_2400(), Some(0.9));
         assert!(params.defense_latency_s > 0.0009);
         assert!((params.defense_overhead_fraction() - 0.1).abs() < 0.01);
         assert_eq!(params.accuracy, Some(0.9));

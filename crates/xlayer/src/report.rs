@@ -126,7 +126,7 @@ impl Series {
     /// x value, one column per series.
     pub fn render_all(title: &str, series: &[Series]) -> String {
         let mut out = format!("== {title} ==\n");
-        out.push_str("x");
+        out.push('x');
         for s in series {
             out.push_str(&format!("\t{}", s.label));
         }

@@ -6,8 +6,7 @@
 
 use dram_locker::attacks::hammer::{HammerConfig, HammerDriver};
 use dram_locker::defenses::{
-    CounterDefenseHook, CounterPerRow, Graphene, Hydra, RowSwapDefense, Shadow, SwapPolicy,
-    Twice,
+    CounterDefenseHook, CounterPerRow, Graphene, Hydra, RowSwapDefense, Shadow, SwapPolicy, Twice,
 };
 use dram_locker::dram::RowAddr;
 use dram_locker::locker::{DramLocker, LockerConfig};
@@ -21,8 +20,7 @@ fn campaign(hook: Option<Box<dyn DefenseHook>>) -> (bool, u64, u64) {
         None => MemoryController::new(config),
     };
     let victim = RowAddr::new(0, 0, 20);
-    let driver =
-        HammerDriver::new(HammerConfig { max_activations: 5_000, check_interval: 8 });
+    let driver = HammerDriver::new(HammerConfig { max_activations: 5_000, check_interval: 8 });
     let outcome = driver.hammer_bit(&mut ctrl, victim, 99).expect("campaign runs");
     (outcome.flipped, outcome.requests, outcome.denied)
 }
@@ -37,10 +35,7 @@ fn main() {
         ("graphene", Some(Box::new(CounterDefenseHook::new(Graphene::new(64, 8))))),
         ("hydra", Some(Box::new(CounterDefenseHook::new(Hydra::new(16, 4, 8))))),
         ("twice", Some(Box::new(CounterDefenseHook::new(Twice::new(8, 64, 1))))),
-        (
-            "counter-per-row",
-            Some(Box::new(CounterDefenseHook::new(CounterPerRow::new(8)))),
-        ),
+        ("counter-per-row", Some(Box::new(CounterDefenseHook::new(CounterPerRow::new(8))))),
         ("rrs", Some(Box::new(RowSwapDefense::new(SwapPolicy::Randomized, 8, 1)))),
         ("srs", Some(Box::new(RowSwapDefense::new(SwapPolicy::Secure, 8, 1)))),
         ("shadow", Some(Box::new(Shadow::new(8, 1)))),

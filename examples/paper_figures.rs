@@ -7,16 +7,13 @@
 //! in EXPERIMENTS.md.
 
 use dram_locker::xlayer::experiments::{
-    fig1a, fig1b, fig7a, fig7b, fig8, generations, mc_variation, overhead_inference, pta,
-    table1, table2, Fidelity,
+    fig1a, fig1b, fig7a, fig7b, fig8, generations, mc_variation, overhead_inference, pta, table1,
+    table2, Fidelity,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let fidelity = if std::env::args().any(|a| a == "--fast") {
-        Fidelity::Fast
-    } else {
-        Fidelity::Full
-    };
+    let fidelity =
+        if std::env::args().any(|a| a == "--fast") { Fidelity::Fast } else { Fidelity::Full };
     println!("running all paper experiments at {fidelity:?} fidelity\n");
 
     println!("{}", fig1b::run());

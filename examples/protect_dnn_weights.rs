@@ -36,7 +36,7 @@ fn best_edge_target(
         let index = BitIndex { layer, weight, bit: 7 };
         let delta = victim.model.flip_delta(index).expect("valid index");
         let gain = grads[layer].weight.as_slice()[weight] * delta;
-        if gain > 0.0 && best.map_or(true, |(b, _)| gain > b) {
+        if gain > 0.0 && best.is_none_or(|(b, _)| gain > b) {
             best = Some((gain, index));
         }
     }
@@ -72,10 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The attacker flips the most damaging reachable weight bit.
         let target = best_edge_target(&victim, &layout, &x, &y);
         let (victim_row, bit_in_row) = layout.bit_location(&victim.model, target)?;
-        let driver = HammerDriver::new(HammerConfig {
-            max_activations: 20_000,
-            check_interval: 8,
-        });
+        let driver = HammerDriver::new(HammerConfig { max_activations: 20_000, check_interval: 8 });
         let outcome = driver.hammer_bit(&mut ctrl, victim_row, bit_in_row)?;
         println!(
             "  hammer campaign: flipped={} requests={} denied={}",

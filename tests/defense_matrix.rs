@@ -12,8 +12,7 @@
 
 use dram_locker::attacks::hammer::{HammerConfig, HammerDriver, HammerOutcome};
 use dram_locker::defenses::{
-    CounterDefenseHook, CounterPerRow, Graphene, Hydra, RowSwapDefense, Shadow, SwapPolicy,
-    Twice,
+    CounterDefenseHook, CounterPerRow, Graphene, Hydra, RowSwapDefense, Shadow, SwapPolicy, Twice,
 };
 use dram_locker::dram::RowAddr;
 use dram_locker::locker::{DramLocker, LockerConfig};
@@ -25,8 +24,7 @@ fn campaign(hook: Option<Box<dyn DefenseHook>>) -> HammerOutcome {
         Some(hook) => MemoryController::with_hook(config, hook),
         None => MemoryController::new(config),
     };
-    let driver =
-        HammerDriver::new(HammerConfig { max_activations: 4_000, check_interval: 8 });
+    let driver = HammerDriver::new(HammerConfig { max_activations: 4_000, check_interval: 8 });
     driver.hammer_bit(&mut ctrl, RowAddr::new(0, 0, 20), 77).expect("campaign runs")
 }
 
@@ -75,8 +73,7 @@ fn campaign_preserves_victim_data(hook: Box<dyn DefenseHook>) -> bool {
     let victim = RowAddr::new(0, 0, 20);
     let pattern = vec![0xA5u8; row_bytes as usize];
     ctrl.dram_mut().write_row(victim, &pattern).expect("seed");
-    let driver =
-        HammerDriver::new(HammerConfig { max_activations: 4_000, check_interval: 8 });
+    let driver = HammerDriver::new(HammerConfig { max_activations: 4_000, check_interval: 8 });
     driver.hammer_bit(&mut ctrl, victim, 77).expect("campaign runs");
     // The victim (trusted) reads its logical row; the hook redirects to
     // wherever the data lives now.
@@ -94,8 +91,7 @@ fn undefended_campaign_corrupts_victim_data() {
     let victim = RowAddr::new(0, 0, 20);
     let pattern = vec![0xA5u8; row_bytes as usize];
     ctrl.dram_mut().write_row(victim, &pattern).expect("seed");
-    let driver =
-        HammerDriver::new(HammerConfig { max_activations: 4_000, check_interval: 8 });
+    let driver = HammerDriver::new(HammerConfig { max_activations: 4_000, check_interval: 8 });
     driver.hammer_bit(&mut ctrl, victim, 77).expect("campaign runs");
     let done = ctrl
         .service(dram_locker::memctrl::MemRequest::read(20 * row_bytes, row_bytes as usize))

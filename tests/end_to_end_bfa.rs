@@ -46,8 +46,7 @@ fn undefended_hammer_lands_and_corrupts_the_model() {
     let mut bench = setup(&victim, false);
     let target = edge_target(&victim);
     let (row, bit) = bench.layout.bit_location(&victim.model, target).expect("maps");
-    let driver =
-        HammerDriver::new(HammerConfig { max_activations: 20_000, check_interval: 8 });
+    let driver = HammerDriver::new(HammerConfig { max_activations: 20_000, check_interval: 8 });
     let outcome = driver.hammer_bit(&mut bench.ctrl, row, bit).expect("campaign runs");
     assert!(outcome.flipped, "{outcome:?}");
     assert_eq!(outcome.denied, 0);
@@ -68,8 +67,7 @@ fn dram_locker_denies_the_same_campaign() {
     let mut bench = setup(&victim, true);
     let target = edge_target(&victim);
     let (row, bit) = bench.layout.bit_location(&victim.model, target).expect("maps");
-    let driver =
-        HammerDriver::new(HammerConfig { max_activations: 20_000, check_interval: 8 });
+    let driver = HammerDriver::new(HammerConfig { max_activations: 20_000, check_interval: 8 });
     let outcome = driver.hammer_bit(&mut bench.ctrl, row, bit).expect("campaign runs");
     assert!(!outcome.flipped, "{outcome:?}");
     assert!(outcome.fully_denied(), "{outcome:?}");
@@ -102,8 +100,7 @@ fn attack_cost_scales_with_trh() {
     let target = edge_target(&victim);
     let (row, bit) = bench.layout.bit_location(&victim.model, target).expect("maps");
     let trh = bench.ctrl.dram().config().hammer.trh;
-    let driver =
-        HammerDriver::new(HammerConfig { max_activations: 20_000, check_interval: 4 });
+    let driver = HammerDriver::new(HammerConfig { max_activations: 20_000, check_interval: 4 });
     let outcome = driver.hammer_bit(&mut bench.ctrl, row, bit).expect("campaign runs");
     assert!(outcome.flipped);
     assert!(outcome.requests >= trh, "needed {} of >= {trh}", outcome.requests);

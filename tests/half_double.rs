@@ -28,15 +28,12 @@ fn half_double_campaign(ctrl: &mut MemoryController, victim: RowAddr) -> (bool, 
     let far_aggressor = RowAddr::new(victim.bank, victim.subarray, victim.row - 2);
     let before = ctrl.dram().read_row(victim).expect("victim row readable");
     // Drive the far aggressor with a conflict row, like the driver does.
-    let conflict =
-        HammerDriver::pick_conflict_row(far_aggressor, &ctrl.geometry());
+    let conflict = HammerDriver::pick_conflict_row(far_aggressor, &ctrl.geometry());
     let aggressor_phys = ctrl.mapper().to_phys(far_aggressor, 0);
     let conflict_phys = ctrl.mapper().to_phys(conflict, 0);
     let mut denied = 0;
     for _ in 0..200 {
-        let done = ctrl
-            .service(MemRequest::read(aggressor_phys, 1).untrusted())
-            .expect("request");
+        let done = ctrl.service(MemRequest::read(aggressor_phys, 1).untrusted()).expect("request");
         if done.denied {
             denied += 1;
         }

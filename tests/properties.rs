@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 
 use dram_locker::dnn::{models, QuantizedMlp};
-use dram_locker::dram::{
-    DramConfig, DramDevice, DramGeometry, RowAddr, RowId,
-};
+use dram_locker::dram::{DramConfig, DramDevice, DramGeometry, RowAddr, RowId};
 use dram_locker::locker::{Instruction, LockTable, MicroProgram};
 use dram_locker::memctrl::{AddressMapper, MappingScheme};
 
@@ -79,7 +77,7 @@ proptest! {
         let a = RowAddr::new(0, 0, row_a);
         let b = RowAddr::new(0, 0, row_b);
         let before = dram.read_row(b).unwrap();
-        dram.write_row(a, &vec![fill; 64]).unwrap();
+        dram.write_row(a, &[fill; 64]).unwrap();
         prop_assert_eq!(dram.read_row(b).unwrap(), before);
     }
 
@@ -90,8 +88,8 @@ proptest! {
         let a = RowAddr::new(0, 1, 3);
         let b = RowAddr::new(0, 1, 7);
         let buffer = RowAddr::new(0, 1, 63);
-        dram.write_row(a, &vec![fill_a; 64]).unwrap();
-        dram.write_row(b, &vec![fill_b; 64]).unwrap();
+        dram.write_row(a, &[fill_a; 64]).unwrap();
+        dram.write_row(b, &[fill_b; 64]).unwrap();
         dram.swap_rows(a, b, buffer).unwrap();
         dram.swap_rows(a, b, buffer).unwrap();
         prop_assert_eq!(dram.read_row(a).unwrap(), vec![fill_a; 64]);

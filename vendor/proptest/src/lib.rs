@@ -1,0 +1,323 @@
+//! Offline stub of `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! `proptest!` macro over functions whose arguments are drawn from
+//! integer range strategies or `any::<T>()`, plus `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assert_ne!` and `prop_assume!`. Each test
+//! runs a fixed number of deterministic cases (256 by default,
+//! `PROPTEST_CASES` overrides) seeded per test name, and failures
+//! report the generated inputs. No shrinking.
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, RngExt};
+
+    /// A source of values for one `proptest!` argument.
+    pub trait Strategy {
+        type Value: core::fmt::Debug + Clone;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// Strategy returned by [`any`](crate::arbitrary::any).
+    pub struct Any<T>(pub(crate) core::marker::PhantomData<T>);
+
+    macro_rules! impl_any_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_any_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Strategy for `Vec`s with a length drawn from a range
+    /// (`proptest::collection::vec`).
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.random_range(self.len.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Always produces the same value (`proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: core::fmt::Debug + Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// Length spec for [`vec`]: an exact `usize` or a `Range<usize>`
+    /// (subset of `proptest::collection::SizeRange`).
+    pub struct SizeRange(pub(crate) core::ops::Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange(exact..exact + 1)
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(range: core::ops::Range<usize>) -> Self {
+            SizeRange(range)
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange(*range.start()..range.end() + 1)
+        }
+    }
+
+    /// `proptest::collection::vec` — element strategy + length spec.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, len: len.into().0 }
+    }
+}
+
+pub mod arbitrary {
+    /// `proptest::prelude::any` — stubbed to a type-directed uniform
+    /// strategy.
+    pub fn any<T>() -> crate::strategy::Any<T> {
+        crate::strategy::Any(core::marker::PhantomData)
+    }
+}
+
+pub mod test_runner {
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the case out; try another.
+        Reject(String),
+        /// A `prop_assert*` failed; the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Number of passing cases each property must accumulate.
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256)
+    }
+
+    /// Deterministic per-test seed: stable across runs, different per
+    /// test name.
+    pub fn seed_for(name: &str) -> u64 {
+        // FNV-1a
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let mut rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                $crate::test_runner::seed_for(stringify!($name)),
+            );
+            let target = $crate::test_runner::cases();
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            while passed < target {
+                $(let $arg = ($strat).sample(&mut rng);)+
+                let inputs =
+                    [$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", ");
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < 4096,
+                            "proptest {}: too many prop_assume! rejections",
+                            stringify!($name),
+                        );
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed: {}\n  inputs: {}",
+                            stringify!($name),
+                            msg,
+                            inputs,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in 3u32..17, y in 0usize..=4, b in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert_eq!(b as u8 <= 1, true);
+        }
+
+        #[test]
+        fn assume_filters(x in 0u8..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest")]
+    fn failures_panic() {
+        proptest! {
+            #[allow(dead_code)]
+            fn inner(x in 0u8..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stub of `serde`.
+//!
+//! The build container has no network access to crates.io, so this
+//! workspace vendors a minimal API-compatible shim: the `Serialize` /
+//! `Deserialize` traits exist (with blanket impls so bounds are always
+//! satisfiable) and the derive macros parse-and-discard. Swap this for
+//! the real `serde` by deleting `vendor/` and restoring the
+//! crates.io dependency once the environment has registry access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::DeserializeOwned;
+}
