@@ -5,45 +5,65 @@
 //!   unlock frequency under victim traffic;
 //! - free-pool size — swap availability;
 //! - scheduling policy (FCFS vs FR-FCFS) under a locked-row mix.
+//!
+//! The victim-workload ablations run through the unified scenario
+//! pipeline with a custom benign [`Attack`] driver; the artifact prints
+//! once, outside the measured closures. The scheduling group benches
+//! the raw request queue (a primitive, not a scenario).
 
 use std::sync::Once;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use dlk_bench::print_once;
-use dlk_dram::RowAddr;
-use dlk_locker::{DramLocker, LockTarget, LockerConfig, ProtectionPlan};
+use dlk_locker::{LockTarget, LockerConfig};
 use dlk_memctrl::{MemCtrlConfig, MemRequest, MemoryController, SchedulingPolicy};
+use dlk_sim::{Attack, AttackOutcome, LockerMitigation, RunEnv, Scenario, SimError, VictimSpec};
 
 static ARTIFACT: Once = Once::new();
 
 /// Victim workload: mixed reads over its data rows plus periodic
-/// touches of a locked row. Returns (swaps, relocks, mean latency).
-fn victim_workload(relock_interval: u64, target: LockTarget) -> (u64, u64, f64) {
-    let config = MemCtrlConfig::tiny_for_tests();
-    let row_bytes = config.dram.geometry.row_bytes as u64;
-    let mut locker = DramLocker::new(
-        LockerConfig { relock_interval, lock_target: target, ..LockerConfig::default() },
-        config.dram.geometry,
-    );
-    let mut plan = ProtectionPlan::new(target);
-    let mut ctrl = {
-        // Protect rows 10..12 (data) -> locks depend on the policy.
-        let mapper = dlk_memctrl::AddressMapper::new(
-            config.dram.geometry,
-            dlk_memctrl::MappingScheme::BankSequential,
-        );
-        plan.protect_range(&mapper, 10 * row_bytes, 12 * row_bytes).expect("range maps");
-        plan.apply(&mut locker).expect("capacity");
-        MemoryController::with_hook(config, Box::new(locker))
-    };
-    // 2000 accesses: mostly data rows, every 10th hits a neighbour.
-    for index in 0..2000u64 {
-        let row = if index % 10 == 0 { 9 } else { 10 + index % 2 };
-        ctrl.service(MemRequest::read(row * row_bytes, 1)).expect("request");
+/// touches of a locked neighbour row.
+struct VictimMix {
+    accesses: u64,
+}
+
+impl Attack for VictimMix {
+    fn name(&self) -> &str {
+        "victim-mix"
     }
-    let stats = ctrl.stats();
-    (stats.redirected, stats.denied, stats.mean_latency())
+
+    fn execute(&mut self, env: &mut RunEnv<'_>) -> Result<AttackOutcome, SimError> {
+        let row_bytes = env.ctrl.geometry().row_bytes as u64;
+        let mut outcome = AttackOutcome::default();
+        // 2000 accesses: mostly data rows 10/11, every 10th hits the
+        // locked neighbour row 9.
+        for index in 0..self.accesses {
+            let row = if index % 10 == 0 { 9 } else { 10 + index % 2 };
+            let done = env.ctrl.service(MemRequest::read(row * row_bytes, 1))?;
+            outcome.requests += 1;
+            if done.denied {
+                outcome.denied += 1;
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+/// Returns (redirects, denies, mean latency) for one configuration.
+fn victim_workload(relock_interval: u64, target: LockTarget) -> (u64, u64, f64) {
+    let config = LockerConfig { relock_interval, lock_target: target, ..LockerConfig::default() };
+    let report = Scenario::builder()
+        .label("ablation")
+        // Protect rows 10..12 (data) -> locks depend on the policy.
+        .victim(VictimSpec::row_span(10, 2, 0xA5))
+        .defense(LockerMitigation::new(config, target))
+        .attack(VictimMix { accesses: 2_000 })
+        .build()
+        .expect("scenario builds")
+        .run()
+        .expect("workload runs");
+    (report.controller.redirected, report.controller.denied, report.controller.mean_latency())
 }
 
 fn bench_ablation(c: &mut Criterion) {
@@ -91,9 +111,6 @@ fn bench_ablation(c: &mut Criterion) {
         b.iter(|| victim_workload(100, LockTarget::AdjacentRows))
     });
     group.finish();
-
-    // Keep RowAddr linked for the doc comment.
-    let _ = RowAddr::new(0, 0, 0);
 }
 
 criterion_group!(benches, bench_ablation);

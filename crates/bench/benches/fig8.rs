@@ -1,15 +1,14 @@
 //! Regenerates both panels of Fig. 8 (BFA accuracy degradation with
-//! and without DRAM-Locker), then benchmarks a defended hammer attempt.
+//! and without DRAM-Locker), then benchmarks a defended hammer attempt
+//! through the unified scenario pipeline. The artifact prints once,
+//! outside the measured closure.
 
 use std::sync::Once;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use dlk_attacks::hammer::{HammerConfig, HammerDriver};
 use dlk_bench::print_once;
-use dlk_dram::RowAddr;
-use dlk_locker::{DramLocker, LockerConfig};
-use dlk_memctrl::{MemCtrlConfig, MemoryController};
+use dlk_sim::{Budget, HammerAttack, LockerMitigation, Scenario, VictimSpec};
 use dlk_xlayer::experiments::{fig8, Fidelity};
 
 static ARTIFACT: Once = Once::new();
@@ -22,13 +21,15 @@ fn bench_fig8(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8");
     group.sample_size(20);
     group.bench_function("denied_hammer_campaign", |b| {
-        let config = MemCtrlConfig::tiny_for_tests();
-        let mut locker = DramLocker::new(LockerConfig::default(), config.dram.geometry);
-        locker.lock_row(RowAddr::new(0, 0, 19)).expect("capacity");
-        locker.lock_row(RowAddr::new(0, 0, 21)).expect("capacity");
-        let mut ctrl = MemoryController::with_hook(config, Box::new(locker));
-        let driver = HammerDriver::new(HammerConfig { max_activations: 64, check_interval: 8 });
-        b.iter(|| driver.hammer_bit(&mut ctrl, RowAddr::new(0, 0, 20), 5).expect("runs"))
+        let mut run = Scenario::builder()
+            .label("fig8-kernel")
+            .victim(VictimSpec::row(20, 0xA5))
+            .attack(HammerAttack::bit(5))
+            .defense(LockerMitigation::adjacent())
+            .budget(Budget { max_activations: 64, check_interval: 8, iterations: 1 })
+            .build()
+            .expect("scenario builds");
+        b.iter(|| run.run().expect("defended campaign runs"))
     });
     group.finish();
 }

@@ -176,6 +176,10 @@ impl DefenseHook for RowSwapDefense {
             SwapPolicy::Secure => "srs",
         }
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

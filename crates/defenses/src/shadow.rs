@@ -70,6 +70,10 @@ impl DefenseHook for Shadow {
     fn name(&self) -> &str {
         "shadow"
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 /// The analytical SHADOW cost/security model behind Fig. 7.

@@ -61,7 +61,7 @@ impl<T: RowTracker> CounterDefenseHook<T> {
     }
 }
 
-impl<T: RowTracker> DefenseHook for CounterDefenseHook<T> {
+impl<T: RowTracker + 'static> DefenseHook for CounterDefenseHook<T> {
     fn before_access(
         &mut self,
         _request: &MemRequest,
@@ -85,6 +85,10 @@ impl<T: RowTracker> DefenseHook for CounterDefenseHook<T> {
 
     fn name(&self) -> &str {
         self.tracker.name()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -15,7 +15,9 @@
 
 use crate::data::SyntheticDataset;
 use crate::model::Mlp;
-use crate::quant::QuantizedMlp;
+use crate::quant::{BitIndex, QuantizedMlp};
+use crate::storage::WeightLayout;
+use crate::tensor::Tensor;
 use crate::train::{TrainConfig, Trainer};
 
 /// A deep-narrow network for the CIFAR-10-like dataset
@@ -59,6 +61,38 @@ pub fn victim_vgg11_cifar100(seed: u64) -> Victim {
 /// Trains and quantizes a tiny victim for tests.
 pub fn victim_tiny(seed: u64) -> Victim {
     build_victim(tiny_mlp(seed), SyntheticDataset::tiny_for_tests(seed), 12)
+}
+
+/// The most damaging MSB flip among weights in the *first DRAM row* of
+/// the weight image laid out by `layout`.
+///
+/// The OS isolates the victim's own pages, so an unprivileged attacker
+/// can only hammer the unowned rows physically adjacent to the image —
+/// making the image's edge row the only row whose bits are reachable.
+/// This ranks the edge-row MSBs by first-order loss increase
+/// `grad · Δw` on the batch `(x, y)` and returns the best, or `None`
+/// when no edge-row flip increases the loss.
+pub fn best_edge_target(
+    model: &QuantizedMlp,
+    layout: &WeightLayout,
+    x: &Tensor,
+    y: &[usize],
+) -> Option<BitIndex> {
+    let (_, grads) = model.loss_and_grads(x, y).ok()?;
+    let row_bytes = layout.mapper().geometry().row_bytes;
+    let base = layout.base_phys() as usize;
+    let edge_bytes = row_bytes - (base % row_bytes).min(row_bytes);
+    let mut best: Option<(f32, BitIndex)> = None;
+    for offset in 0..edge_bytes.min(model.total_weights()) {
+        let (layer, weight) = model.locate_byte(offset)?;
+        let index = BitIndex { layer, weight, bit: 7 };
+        let delta = model.flip_delta(index).ok()?;
+        let gain = grads[layer].weight.as_slice()[weight] * delta;
+        if gain > 0.0 && best.is_none_or(|(b, _)| gain > b) {
+            best = Some((gain, index));
+        }
+    }
+    best.map(|(_, index)| index)
 }
 
 fn build_victim(mut model: Mlp, dataset: SyntheticDataset, epochs: usize) -> Victim {

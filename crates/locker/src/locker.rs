@@ -272,6 +272,10 @@ impl DefenseHook for DramLocker {
     fn name(&self) -> &str {
         "dram-locker"
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

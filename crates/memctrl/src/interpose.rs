@@ -52,6 +52,14 @@ pub trait DefenseHook {
 
     /// Short name for reports.
     fn name(&self) -> &str;
+
+    /// Downcasting support so evaluation harnesses can read a mounted
+    /// hook's concrete statistics (swap counts, mitigation counts, …)
+    /// after a run. Defenses that expose such statistics return
+    /// `Some(self)`; the default hides the hook.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// The identity hook: no protection, no overhead.

@@ -1,0 +1,249 @@
+//! The named scenario registry.
+//!
+//! Every attack × defense combination the paper evaluates is a named,
+//! enumerable scenario: `catalog()` lists them, [`find`] looks one up,
+//! and [`CatalogEntry::scenario`] hands back a fresh builder so callers
+//! can tweak budgets or geometry before running. Head-to-head sweeps
+//! are one loop over the catalog.
+
+use dlk_defenses::{CounterPerRow, Graphene, Hydra, SwapPolicy, Twice};
+use dlk_dnn::models;
+
+use crate::attack::{
+    BfaHammerAttack, HammerAttack, InferenceStream, PageTablePoison, ProgressiveBfa,
+    RandomFlipAttack,
+};
+use crate::mitigation::{LockerMitigation, RowSwapMitigation, ShadowMitigation, TrackerMitigation};
+use crate::scenario::{Budget, Scenario, ScenarioBuilder};
+use crate::victim::VictimSpec;
+
+/// What a scenario is expected to show when swept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expected {
+    /// The attack visibly harms the victim.
+    Harmed,
+    /// The defense contains the attack; the victim is unharmed.
+    Contained,
+    /// No containment claim (statistical or overhead scenarios).
+    Any,
+}
+
+/// One named scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogEntry {
+    /// Unique scenario name (`attack-vs-defense`).
+    pub name: &'static str,
+    /// The paper artifact this scenario reproduces.
+    pub artifact: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Sweep expectation.
+    pub expected: Expected,
+    build: fn() -> ScenarioBuilder,
+}
+
+impl CatalogEntry {
+    /// A fresh builder for this scenario (victims trained on demand).
+    pub fn scenario(&self) -> ScenarioBuilder {
+        (self.build)().label(self.name)
+    }
+}
+
+fn hammer_base() -> ScenarioBuilder {
+    Scenario::builder()
+        .victim(VictimSpec::row(20, 0xA5))
+        .attack(HammerAttack::bit(77))
+        .budget(Budget { max_activations: 4_000, check_interval: 8, iterations: 1 })
+}
+
+fn bfa_base(success_rate: f64) -> ScenarioBuilder {
+    Scenario::builder()
+        .victim(VictimSpec::model(models::victim_tiny(42), 0x400))
+        .attack(ProgressiveBfa::new(success_rate, 8))
+        .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 10 })
+}
+
+fn pta_base() -> ScenarioBuilder {
+    Scenario::builder()
+        .victim(VictimSpec::paged(models::victim_tiny(21)))
+        .attack(PageTablePoison::default())
+        .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 1 })
+}
+
+static CATALOG: &[CatalogEntry] = &[
+    CatalogEntry {
+        name: "hammer-vs-none",
+        artifact: "Fig. 4 premise",
+        description: "RowHammer flips a victim-row bit on an undefended device",
+        expected: Expected::Harmed,
+        build: || hammer_base(),
+    },
+    CatalogEntry {
+        name: "hammer-vs-dram-locker",
+        artifact: "Fig. 4(d)",
+        description: "DRAM-Locker locks the aggressor-candidate rows; every access denied",
+        expected: Expected::Contained,
+        build: || hammer_base().defense(LockerMitigation::adjacent()),
+    },
+    CatalogEntry {
+        name: "hammer-vs-graphene",
+        artifact: "Table I baseline",
+        description: "Graphene's Misra-Gries tracker refreshes before TRH",
+        expected: Expected::Contained,
+        build: || hammer_base().defense(TrackerMitigation::new(Graphene::new(64, 8))),
+    },
+    CatalogEntry {
+        name: "hammer-vs-hydra",
+        artifact: "Table I baseline",
+        description: "Hydra's hybrid tracker refreshes before TRH",
+        expected: Expected::Contained,
+        build: || hammer_base().defense(TrackerMitigation::new(Hydra::new(16, 4, 8))),
+    },
+    CatalogEntry {
+        name: "hammer-vs-twice",
+        artifact: "Table I baseline",
+        description: "TWiCE's pruned counter table refreshes before TRH",
+        expected: Expected::Contained,
+        build: || hammer_base().defense(TrackerMitigation::new(Twice::new(8, 64, 1))),
+    },
+    CatalogEntry {
+        name: "hammer-vs-counter-per-row",
+        artifact: "Table I upper bound",
+        description: "Exact per-row counters refresh before TRH",
+        expected: Expected::Contained,
+        build: || hammer_base().defense(TrackerMitigation::new(CounterPerRow::new(8))),
+    },
+    CatalogEntry {
+        name: "hammer-vs-rrs",
+        artifact: "Table I baseline",
+        description: "Randomized Row-Swap relocates the aggressor; victim data survives",
+        expected: Expected::Contained,
+        build: || hammer_base().defense(RowSwapMitigation::new(SwapPolicy::Randomized, 8, 5)),
+    },
+    CatalogEntry {
+        name: "hammer-vs-srs",
+        artifact: "Table I baseline",
+        description: "Secure Row-Swap relocates proactively; victim data survives",
+        expected: Expected::Contained,
+        build: || hammer_base().defense(RowSwapMitigation::new(SwapPolicy::Secure, 8, 5)),
+    },
+    CatalogEntry {
+        name: "hammer-vs-shadow",
+        artifact: "Fig. 7",
+        description: "SHADOW shuffles the subarray; victim data survives",
+        expected: Expected::Contained,
+        build: || hammer_base().defense(ShadowMitigation::new(8, 5)),
+    },
+    CatalogEntry {
+        name: "bfa-hammer-vs-none",
+        artifact: "§III / Fig. 3(a)",
+        description: "Gradient-ranked edge-row MSB realized by a physical hammer campaign",
+        expected: Expected::Any,
+        build: || {
+            Scenario::builder()
+                .victim(VictimSpec::model(models::victim_tiny(31), 0x400))
+                .attack(BfaHammerAttack::default())
+                .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 1 })
+        },
+    },
+    CatalogEntry {
+        name: "bfa-hammer-vs-dram-locker",
+        artifact: "§IV / Fig. 4(d)",
+        description: "The same physical BFA campaign, denied by the lock table",
+        expected: Expected::Contained,
+        build: || {
+            Scenario::builder()
+                .victim(VictimSpec::model(models::victim_tiny(31), 0x400))
+                .attack(BfaHammerAttack::default())
+                .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 1 })
+                .defense(LockerMitigation::adjacent())
+        },
+    },
+    CatalogEntry {
+        name: "bfa-vs-none",
+        artifact: "Fig. 8 (without)",
+        description: "Progressive BFA: every chosen flip lands, accuracy collapses",
+        expected: Expected::Harmed,
+        build: || bfa_base(1.0),
+    },
+    CatalogEntry {
+        name: "bfa-vs-dram-locker",
+        artifact: "Fig. 8 (with) / §IV-D",
+        description: "Under DRAM-Locker only 9.6% of flips land (±20% variation)",
+        expected: Expected::Any,
+        build: || bfa_base(0.096),
+    },
+    CatalogEntry {
+        name: "random-vs-none",
+        artifact: "Fig. 1(a)",
+        description: "Uniformly random flips — orders of magnitude weaker than BFA",
+        expected: Expected::Any,
+        build: || {
+            Scenario::builder()
+                .victim(VictimSpec::model(models::victim_tiny(42), 0x400))
+                .attack(RandomFlipAttack::new(7))
+                .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 10 })
+        },
+    },
+    CatalogEntry {
+        name: "pta-vs-none",
+        artifact: "§V",
+        description: "Page Table Attack redirects a weight page to a poisoned frame",
+        expected: Expected::Harmed,
+        build: || pta_base(),
+    },
+    CatalogEntry {
+        name: "pta-vs-dram-locker",
+        artifact: "§V",
+        description: "DRAM-Locker guards the page-table rows; the PTE survives",
+        expected: Expected::Contained,
+        build: || pta_base().defense(LockerMitigation::adjacent()),
+    },
+    CatalogEntry {
+        name: "inference-vs-dram-locker",
+        artifact: "Table II prose",
+        description: "Victim inference traffic under adjacent-row locking (overhead run)",
+        expected: Expected::Contained,
+        build: || {
+            Scenario::builder()
+                .victim(VictimSpec::model(models::victim_tiny(3), 0x400))
+                .attack(InferenceStream::default())
+                .defense(LockerMitigation::adjacent())
+        },
+    },
+];
+
+/// Every named scenario, in evaluation order.
+pub fn catalog() -> &'static [CatalogEntry] {
+    CATALOG
+}
+
+/// Looks a scenario up by name.
+pub fn find(name: &str) -> Option<&'static CatalogEntry> {
+    CATALOG.iter().find(|entry| entry.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_plentiful() {
+        let names: std::collections::HashSet<_> = catalog().iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), catalog().len());
+        assert!(catalog().len() >= 6, "the catalog must enumerate at least 6 scenarios");
+    }
+
+    #[test]
+    fn find_resolves_names() {
+        assert!(find("hammer-vs-dram-locker").is_some());
+        assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn entries_build_labelled_runs() {
+        let entry = find("hammer-vs-none").unwrap();
+        let run = entry.scenario().build().unwrap();
+        assert_eq!(run.label(), "hammer-vs-none");
+    }
+}

@@ -1,0 +1,72 @@
+//! The unified scenario error type.
+
+use dlk_dnn::DnnError;
+use dlk_dram::DramError;
+use dlk_locker::LockerError;
+use dlk_memctrl::MemCtrlError;
+
+/// Anything that can go wrong while building or running a scenario.
+#[derive(Debug)]
+pub enum SimError {
+    /// Memory-controller or translation failure.
+    Ctrl(MemCtrlError),
+    /// DRAM device failure.
+    Dram(DramError),
+    /// DNN substrate failure (layout, weight indices, shapes).
+    Dnn(DnnError),
+    /// DRAM-Locker failure (lock-table capacity, bad ranges).
+    Locker(LockerError),
+    /// Scenario assembly failure (missing victim, bad target index, …).
+    Build(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Ctrl(e) => write!(f, "controller: {e}"),
+            SimError::Dram(e) => write!(f, "dram: {e}"),
+            SimError::Dnn(e) => write!(f, "dnn: {e}"),
+            SimError::Locker(e) => write!(f, "locker: {e}"),
+            SimError::Build(msg) => write!(f, "scenario build: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<MemCtrlError> for SimError {
+    fn from(e: MemCtrlError) -> Self {
+        SimError::Ctrl(e)
+    }
+}
+
+impl From<DramError> for SimError {
+    fn from(e: DramError) -> Self {
+        SimError::Dram(e)
+    }
+}
+
+impl From<DnnError> for SimError {
+    fn from(e: DnnError) -> Self {
+        SimError::Dnn(e)
+    }
+}
+
+impl From<LockerError> for SimError {
+    fn from(e: LockerError) -> Self {
+        SimError::Locker(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_tags_the_layer() {
+        let e = SimError::Build("no victim".into());
+        assert!(e.to_string().contains("scenario build"));
+        let e: SimError = LockerError::BadRange { start: 1, end: 0 }.into();
+        assert!(e.to_string().starts_with("locker:"));
+    }
+}

@@ -1,0 +1,73 @@
+//! # dlk-sim — the unified Scenario API
+//!
+//! One builder-driven pipeline for every attack/defense experiment in
+//! the workspace:
+//!
+//! ```text
+//! Scenario::builder()
+//!     .geometry(..)   // MemCtrlConfig (device + mapping + scheduling)
+//!     .victim(..)     // raw rows, a deployed model, or a paged model
+//!     .attack(..)     // any `Attack` driver
+//!     .defense(..)    // any `Mitigation`, stackable
+//!     .budget(..)     // activations / iterations
+//!     .build()?       // deploys victims, mounts defenses
+//!     .run()?         // -> RunReport
+//! ```
+//!
+//! Attacks and defenses are uniformly *assignable* components: the
+//! object-safe [`Attack`] trait covers the RowHammer driver
+//! ([`HammerAttack`]), the progressive bit search ([`ProgressiveBfa`],
+//! [`BfaHammerAttack`]), random flips ([`RandomFlipAttack`]), the page
+//! table attack ([`PageTablePoison`]) and benign victim traffic
+//! ([`InferenceStream`]); the [`Mitigation`] trait covers DRAM-Locker
+//! ([`LockerMitigation`]) and every baseline in `dlk-defenses`
+//! ([`TrackerMitigation`], [`RowSwapMitigation`], [`ShadowMitigation`]).
+//! The unified [`RunReport`] carries accuracy deltas, denied/landed
+//! flips, cycles, energy and per-defense mitigation counts.
+//!
+//! ## Paper-figure → catalog map
+//!
+//! [`catalog()`] enumerates the named attack × defense scenarios; each
+//! maps to a paper artifact:
+//!
+//! | Catalog scenario | Paper artifact |
+//! |------------------|----------------|
+//! | `hammer-vs-none` | Fig. 4 premise (undefended flip) |
+//! | `hammer-vs-dram-locker` | Fig. 4(d) lock-table denial |
+//! | `hammer-vs-{graphene,hydra,twice,counter-per-row,rrs,srs}` | Table I baselines |
+//! | `hammer-vs-shadow` | Fig. 7 closest competitor |
+//! | `bfa-vs-none` / `bfa-vs-dram-locker` | Fig. 8 accuracy curves |
+//! | `random-vs-none` | Fig. 1(a) random baseline |
+//! | `pta-vs-none` / `pta-vs-dram-locker` | §V page-table attack |
+//! | `inference-vs-dram-locker` | Table II prose (victim overhead) |
+//!
+//! ```
+//! use dlk_sim::catalog;
+//!
+//! let entry = dlk_sim::find("hammer-vs-dram-locker").unwrap();
+//! let report = entry.scenario().build().unwrap().run().unwrap();
+//! assert!(report.fully_denied());
+//! assert!(catalog().len() >= 6);
+//! ```
+
+pub mod attack;
+pub mod catalog;
+pub mod error;
+pub mod mitigation;
+pub mod report;
+pub mod scenario;
+pub mod victim;
+
+pub use crate::attack::{
+    Attack, BfaHammerAttack, HammerAttack, InferenceStream, PageTablePoison, ProgressiveBfa,
+    RandomFlipAttack, RowProbe, RunEnv,
+};
+pub use crate::catalog::{catalog, find, CatalogEntry, Expected};
+pub use crate::error::SimError;
+pub use crate::mitigation::{
+    HookChain, LockerMitigation, Mitigation, MountCtx, RowSwapMitigation, ShadowMitigation,
+    TrackerMitigation,
+};
+pub use crate::report::{AttackOutcome, MitigationReport, RunReport, VictimReport};
+pub use crate::scenario::{Budget, Scenario, ScenarioBuilder, ScenarioRun};
+pub use crate::victim::{DeployedVictim, VictimSpec};

@@ -1,0 +1,340 @@
+//! The object-safe [`Mitigation`] trait and its implementations.
+//!
+//! A `Mitigation` is a *mountable* defense: given the scenario's
+//! geometry and the victims' guarded physical ranges it produces the
+//! [`DefenseHook`] the controller will consult on every request. After
+//! the run it can read its own action count back out of the mounted
+//! hook (via [`DefenseHook::as_any`]), which is how the unified
+//! [`RunReport`](crate::RunReport) carries per-defense mitigation
+//! counts without knowing any concrete defense type.
+
+use dlk_defenses::{CounterDefenseHook, RowSwapDefense, RowTracker, Shadow, SwapPolicy};
+use dlk_dram::{DramDevice, DramGeometry, RowAddr};
+use dlk_locker::{DramLocker, LockTarget, LockerConfig, ProtectionPlan};
+use dlk_memctrl::{AddressMapper, DefenseHook, HookAction, MemRequest};
+
+use crate::error::SimError;
+
+/// Everything a mitigation needs to mount itself on a scenario.
+pub struct MountCtx<'a> {
+    /// The device geometry.
+    pub geometry: DramGeometry,
+    /// The controller's address mapper.
+    pub mapper: &'a AddressMapper,
+    /// Physical byte ranges the deployed victims asked to have guarded.
+    pub guarded: &'a [(u64, u64)],
+}
+
+/// A defense assignable to a scenario.
+pub trait Mitigation {
+    /// Short name for reports.
+    fn name(&self) -> &str;
+
+    /// Builds the controller hook for this scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the defense cannot cover the guarded
+    /// ranges (lock-table capacity, unmappable ranges, …).
+    fn mount(&self, ctx: &MountCtx<'_>) -> Result<Box<dyn DefenseHook>, SimError>;
+
+    /// Defensive actions the mounted `hook` took, read back after the
+    /// run. The default reports zero for hooks that expose no stats.
+    fn actions(&self, hook: &dyn DefenseHook) -> u64 {
+        let _ = hook;
+        0
+    }
+}
+
+impl Mitigation for Box<dyn Mitigation> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn mount(&self, ctx: &MountCtx<'_>) -> Result<Box<dyn DefenseHook>, SimError> {
+        (**self).mount(ctx)
+    }
+
+    fn actions(&self, hook: &dyn DefenseHook) -> u64 {
+        (**self).actions(hook)
+    }
+}
+
+/// DRAM-Locker mounted through a [`ProtectionPlan`] over the guarded
+/// ranges.
+#[derive(Debug, Clone)]
+pub struct LockerMitigation {
+    config: LockerConfig,
+    target: LockTarget,
+    radius: u32,
+}
+
+impl LockerMitigation {
+    /// The paper's configuration: lock the rows *adjacent* to the
+    /// guarded data (the aggressor-candidate rows).
+    pub fn adjacent() -> Self {
+        Self::new(LockerConfig::default(), LockTarget::AdjacentRows)
+    }
+
+    /// The ablation configuration: lock the guarded data rows
+    /// themselves (maximum unlock churn).
+    pub fn data_rows() -> Self {
+        Self::new(LockerConfig::default(), LockTarget::DataRows)
+    }
+
+    /// A locker with an explicit configuration and lock target.
+    pub fn new(config: LockerConfig, target: LockTarget) -> Self {
+        Self { config, target, radius: 1 }
+    }
+
+    /// Sets the lock radius (2 covers Half-Double-style distance-2
+    /// disturbance).
+    pub fn with_radius(mut self, radius: u32) -> Self {
+        self.radius = radius.max(1);
+        self
+    }
+}
+
+impl Mitigation for LockerMitigation {
+    fn name(&self) -> &str {
+        "dram-locker"
+    }
+
+    fn mount(&self, ctx: &MountCtx<'_>) -> Result<Box<dyn DefenseHook>, SimError> {
+        let mut locker = DramLocker::new(self.config, ctx.geometry);
+        if !ctx.guarded.is_empty() {
+            let mut plan = ProtectionPlan::new(self.target).with_radius(self.radius);
+            for &(start, end) in ctx.guarded {
+                plan.protect_range(ctx.mapper, start, end)?;
+            }
+            plan.apply(&mut locker)?;
+        }
+        Ok(Box::new(locker))
+    }
+
+    fn actions(&self, hook: &dyn DefenseHook) -> u64 {
+        hook.as_any()
+            .and_then(|any| any.downcast_ref::<DramLocker>())
+            .map(|locker| locker.stats().denies + locker.stats().swaps)
+            .unwrap_or(0)
+    }
+}
+
+/// Any counter-based [`RowTracker`] mounted as a targeted-refresh hook.
+#[derive(Debug, Clone)]
+pub struct TrackerMitigation<T> {
+    tracker: T,
+    name: String,
+}
+
+impl<T: RowTracker + Clone + 'static> TrackerMitigation<T> {
+    /// Wraps a tracker; the mounted hook gets a fresh clone of it.
+    pub fn new(tracker: T) -> Self {
+        let name = tracker.name().to_owned();
+        Self { tracker, name }
+    }
+}
+
+impl<T: RowTracker + Clone + 'static> Mitigation for TrackerMitigation<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn mount(&self, _ctx: &MountCtx<'_>) -> Result<Box<dyn DefenseHook>, SimError> {
+        Ok(Box::new(CounterDefenseHook::new(self.tracker.clone())))
+    }
+
+    fn actions(&self, hook: &dyn DefenseHook) -> u64 {
+        hook.as_any()
+            .and_then(|any| any.downcast_ref::<CounterDefenseHook<T>>())
+            .map(CounterDefenseHook::mitigations)
+            .unwrap_or(0)
+    }
+}
+
+/// RRS / SRS (swap-based row remapping).
+#[derive(Debug, Clone)]
+pub struct RowSwapMitigation {
+    policy: SwapPolicy,
+    threshold: u64,
+    seed: u64,
+}
+
+impl RowSwapMitigation {
+    /// A swap defense triggering at `threshold` activations.
+    pub fn new(policy: SwapPolicy, threshold: u64, seed: u64) -> Self {
+        Self { policy, threshold, seed }
+    }
+}
+
+impl Mitigation for RowSwapMitigation {
+    fn name(&self) -> &str {
+        match self.policy {
+            SwapPolicy::Randomized => "rrs",
+            SwapPolicy::Secure => "srs",
+        }
+    }
+
+    fn mount(&self, _ctx: &MountCtx<'_>) -> Result<Box<dyn DefenseHook>, SimError> {
+        Ok(Box::new(RowSwapDefense::new(self.policy, self.threshold, self.seed)))
+    }
+
+    fn actions(&self, hook: &dyn DefenseHook) -> u64 {
+        hook.as_any()
+            .and_then(|any| any.downcast_ref::<RowSwapDefense>())
+            .map(RowSwapDefense::swaps)
+            .unwrap_or(0)
+    }
+}
+
+/// SHADOW (intra-subarray shuffling).
+#[derive(Debug, Clone)]
+pub struct ShadowMitigation {
+    threshold: u64,
+    seed: u64,
+}
+
+impl ShadowMitigation {
+    /// A SHADOW defense shuffling at `threshold` activations.
+    pub fn new(threshold: u64, seed: u64) -> Self {
+        Self { threshold, seed }
+    }
+}
+
+impl Mitigation for ShadowMitigation {
+    fn name(&self) -> &str {
+        "shadow"
+    }
+
+    fn mount(&self, _ctx: &MountCtx<'_>) -> Result<Box<dyn DefenseHook>, SimError> {
+        Ok(Box::new(Shadow::new(self.threshold, self.seed)))
+    }
+
+    fn actions(&self, hook: &dyn DefenseHook) -> u64 {
+        hook.as_any()
+            .and_then(|any| any.downcast_ref::<Shadow>())
+            .map(Shadow::shuffles)
+            .unwrap_or(0)
+    }
+}
+
+/// Several hooks stacked on one controller: the first non-`Allow`
+/// verdict wins, every hook observes every activation, and lookup
+/// latencies add up (each defense is separate hardware on the request
+/// path).
+pub struct HookChain {
+    hooks: Vec<Box<dyn DefenseHook>>,
+    name: String,
+}
+
+impl HookChain {
+    /// Chains hooks in consultation order.
+    pub fn new(hooks: Vec<Box<dyn DefenseHook>>) -> Self {
+        let name = hooks.iter().map(|h| h.name().to_owned()).collect::<Vec<_>>().join("+");
+        Self { hooks, name }
+    }
+
+    /// The chained hooks, in consultation order.
+    pub fn hooks(&self) -> &[Box<dyn DefenseHook>] {
+        &self.hooks
+    }
+}
+
+impl DefenseHook for HookChain {
+    fn before_access(
+        &mut self,
+        request: &MemRequest,
+        target: RowAddr,
+        dram: &mut DramDevice,
+    ) -> HookAction {
+        let mut verdict = HookAction::Allow;
+        for hook in &mut self.hooks {
+            match hook.before_access(request, target, dram) {
+                HookAction::Allow => {}
+                action => {
+                    verdict = action;
+                    break;
+                }
+            }
+        }
+        verdict
+    }
+
+    fn on_activate(&mut self, row: RowAddr, dram: &mut DramDevice) {
+        for hook in &mut self.hooks {
+            hook.on_activate(row, dram);
+        }
+    }
+
+    fn check_latency(&self) -> u64 {
+        self.hooks.iter().map(|h| h.check_latency()).sum()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlk_defenses::Graphene;
+    use dlk_dram::DramConfig;
+    use dlk_memctrl::MappingScheme;
+
+    fn ctx(mapper: &AddressMapper) -> MountCtx<'_> {
+        MountCtx { geometry: *mapper.geometry(), mapper, guarded: &[] }
+    }
+
+    #[test]
+    fn locker_mounts_empty_without_guarded_ranges() {
+        let mapper = AddressMapper::new(DramGeometry::tiny(), MappingScheme::BankSequential);
+        let mitigation = LockerMitigation::adjacent();
+        let hook = mitigation.mount(&ctx(&mapper)).unwrap();
+        assert_eq!(hook.name(), "dram-locker");
+        assert_eq!(mitigation.actions(hook.as_ref()), 0);
+    }
+
+    #[test]
+    fn locker_guards_ranges_through_the_plan() {
+        let mapper = AddressMapper::new(DramGeometry::tiny(), MappingScheme::BankSequential);
+        let guarded = [(10 * 64u64, 11 * 64u64)];
+        let ctx = MountCtx { geometry: *mapper.geometry(), mapper: &mapper, guarded: &guarded };
+        let hook = LockerMitigation::adjacent().mount(&ctx).unwrap();
+        let locker = hook.as_any().unwrap().downcast_ref::<DramLocker>().unwrap();
+        assert_eq!(locker.lock_table().len(), 2, "two neighbours of row 10");
+    }
+
+    #[test]
+    fn tracker_mitigation_reports_refreshes() {
+        let mapper = AddressMapper::new(DramGeometry::tiny(), MappingScheme::BankSequential);
+        let mitigation = TrackerMitigation::new(Graphene::new(64, 4));
+        let mut hook = mitigation.mount(&ctx(&mapper)).unwrap();
+        let mut dram = DramDevice::new(DramConfig::tiny_for_tests());
+        let row = RowAddr::new(0, 0, 5);
+        for _ in 0..16 {
+            hook.on_activate(row, &mut dram);
+        }
+        assert!(mitigation.actions(hook.as_ref()) > 0);
+    }
+
+    #[test]
+    fn chain_first_verdict_wins_and_latency_sums() {
+        let mapper = AddressMapper::new(DramGeometry::tiny(), MappingScheme::BankSequential);
+        let guarded = [(10 * 64u64, 11 * 64u64)];
+        let ctx = MountCtx { geometry: *mapper.geometry(), mapper: &mapper, guarded: &guarded };
+        let locker = LockerMitigation::data_rows().mount(&ctx).unwrap();
+        let graphene = TrackerMitigation::new(Graphene::new(64, 4)).mount(&ctx).unwrap();
+        let mut chain = HookChain::new(vec![locker, graphene]);
+        assert_eq!(chain.name(), "dram-locker+graphene");
+        assert_eq!(chain.check_latency(), 2);
+        let mut dram = DramDevice::new(DramConfig::tiny_for_tests());
+        let locked = RowAddr::new(0, 0, 10);
+        let request = MemRequest::read(10 * 64, 1).untrusted();
+        assert_eq!(chain.before_access(&request, locked, &mut dram), HookAction::Deny);
+    }
+}

@@ -1,0 +1,177 @@
+//! The unified run report.
+
+use dlk_dnn::BitIndex;
+use dlk_memctrl::ControllerStats;
+
+/// What the attack itself observed.
+#[derive(Debug, Clone, Default)]
+pub struct AttackOutcome {
+    /// Bit flips the attack actually landed.
+    pub landed_flips: u64,
+    /// Attacker-side requests issued.
+    pub requests: u64,
+    /// Attacker requests denied by the defense (hardware hook or OS).
+    pub denied: u64,
+    /// A page translation was corrupted (page-table attacks).
+    pub redirected: bool,
+    /// Weight bits the attack targeted (chosen, whether or not landed).
+    pub target_bits: Vec<BitIndex>,
+    /// Weight bits whose flips landed.
+    pub flipped_bits: Vec<BitIndex>,
+    /// Accuracy trajectory: `(iteration, accuracy %)` per iteration,
+    /// for progressive attacks.
+    pub curve: Vec<(f64, f64)>,
+}
+
+impl AttackOutcome {
+    /// `true` if the defense blocked every attacker request.
+    pub fn fully_denied(&self) -> bool {
+        self.denied > 0 && self.denied == self.requests
+    }
+}
+
+/// Per-victim outcome.
+#[derive(Debug, Clone, Default)]
+pub struct VictimReport {
+    /// Accuracy (%) before the attack (model-backed victims).
+    pub accuracy_before_pct: Option<f64>,
+    /// Accuracy (%) after the attack, measured by reloading the model
+    /// from the device through the controller.
+    pub accuracy_after_pct: Option<f64>,
+    /// Raw-row victims: the data pattern survived (read back through
+    /// the controller, following defense redirects).
+    pub data_intact: Option<bool>,
+}
+
+impl VictimReport {
+    /// Accuracy lost to the attack, in percentage points (0 when not
+    /// applicable).
+    pub fn accuracy_delta_pct(&self) -> f64 {
+        match (self.accuracy_before_pct, self.accuracy_after_pct) {
+            (Some(before), Some(after)) => before - after,
+            _ => 0.0,
+        }
+    }
+
+    /// `true` if this victim was observably harmed.
+    pub fn harmed(&self) -> bool {
+        self.data_intact == Some(false) || self.accuracy_delta_pct() > 5.0
+    }
+}
+
+/// Defensive actions one mounted mitigation took during the run.
+#[derive(Debug, Clone)]
+pub struct MitigationReport {
+    /// The mitigation's name.
+    pub name: String,
+    /// Mitigation-specific action count (denies + swaps for
+    /// DRAM-Locker, targeted refreshes for counter trackers, row swaps
+    /// for RRS/SRS/SHADOW).
+    pub actions: u64,
+}
+
+/// The unified report every scenario run produces.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scenario label.
+    pub scenario: String,
+    /// Attack name (empty when the scenario ran without one).
+    pub attack: String,
+    /// Names of the mounted defenses, in mount order.
+    pub defenses: Vec<String>,
+    /// Flips the attack landed.
+    pub landed_flips: u64,
+    /// Attacker-side requests issued.
+    pub requests: u64,
+    /// Attacker requests denied.
+    pub denied: u64,
+    /// A page translation was corrupted.
+    pub redirected: bool,
+    /// Weight bits the attack targeted.
+    pub target_bits: Vec<BitIndex>,
+    /// Weight bits whose flips landed.
+    pub flipped_bits: Vec<BitIndex>,
+    /// Accuracy trajectory of progressive attacks.
+    pub curve: Vec<(f64, f64)>,
+    /// Device cycles consumed up to the end of the attack phase
+    /// (measurement probes excluded).
+    pub cycles: u64,
+    /// DRAM energy in picojoules up to the end of the attack phase.
+    pub energy_pj: f64,
+    /// Controller statistics at the end of the attack phase.
+    pub controller: ControllerStats,
+    /// Per-victim outcomes, in deployment order.
+    pub victims: Vec<VictimReport>,
+    /// Per-defense action counts, in mount order.
+    pub mitigations: Vec<MitigationReport>,
+}
+
+impl RunReport {
+    /// The first (primary) victim's report.
+    pub fn victim(&self) -> &VictimReport {
+        &self.victims[0]
+    }
+
+    /// `true` if the defense blocked every attacker request.
+    pub fn fully_denied(&self) -> bool {
+        self.denied > 0 && self.denied == self.requests
+    }
+
+    /// Accuracy lost by the primary victim, percentage points.
+    pub fn accuracy_delta_pct(&self) -> f64 {
+        self.victims.first().map(VictimReport::accuracy_delta_pct).unwrap_or(0.0)
+    }
+
+    /// Total defensive actions across all mounted mitigations.
+    pub fn mitigation_total(&self) -> u64 {
+        self.mitigations.iter().map(|m| m.actions).sum()
+    }
+
+    /// `true` if any victim was observably harmed (data corrupted,
+    /// accuracy down more than 5 points, or a translation redirected).
+    pub fn harmed(&self) -> bool {
+        self.redirected || self.victims.iter().any(VictimReport::harmed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harm_combines_victims_and_redirects() {
+        let mut report = RunReport {
+            scenario: "t".into(),
+            attack: "a".into(),
+            defenses: vec![],
+            landed_flips: 0,
+            requests: 0,
+            denied: 0,
+            redirected: false,
+            target_bits: vec![],
+            flipped_bits: vec![],
+            curve: vec![],
+            cycles: 0,
+            energy_pj: 0.0,
+            controller: ControllerStats::default(),
+            victims: vec![VictimReport {
+                accuracy_before_pct: Some(90.0),
+                accuracy_after_pct: Some(88.0),
+                data_intact: None,
+            }],
+            mitigations: vec![],
+        };
+        assert!(!report.harmed(), "2-point wobble is not harm");
+        report.victims[0].accuracy_after_pct = Some(40.0);
+        assert!(report.harmed());
+        report.victims[0].accuracy_after_pct = Some(90.0);
+        report.redirected = true;
+        assert!(report.harmed());
+    }
+
+    #[test]
+    fn fully_denied_requires_requests() {
+        let outcome = AttackOutcome::default();
+        assert!(!outcome.fully_denied());
+    }
+}

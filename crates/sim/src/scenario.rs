@@ -1,0 +1,455 @@
+//! The builder-driven scenario pipeline.
+//!
+//! One object owns a run: device geometry, deployed victims, the
+//! mounted defense stack, the attack driver and its budget. Everything
+//! the workspace previously hand-wired (`MemCtrlConfig` →
+//! `MemoryController` → `WeightLayout::deploy` → `os_protect_range` →
+//! attack driver → ad-hoc defense mounting) goes through here.
+//!
+//! ```
+//! use dlk_sim::{Budget, HammerAttack, LockerMitigation, Scenario, VictimSpec};
+//!
+//! # fn main() -> Result<(), dlk_sim::SimError> {
+//! let mut run = Scenario::builder()
+//!     .label("doc")
+//!     .victim(VictimSpec::row(20, 0xA5))
+//!     .attack(HammerAttack::bit(7))
+//!     .defense(LockerMitigation::adjacent())
+//!     .budget(Budget { max_activations: 1_000, check_interval: 8, iterations: 1 })
+//!     .build()?;
+//! let report = run.run()?;
+//! assert!(report.fully_denied());
+//! assert_eq!(report.victims[0].data_intact, Some(true));
+//! # Ok(())
+//! # }
+//! ```
+
+use dlk_dnn::QuantizedMlp;
+use dlk_memctrl::{MemCtrlConfig, MemoryController};
+
+use crate::attack::{Attack, RunEnv};
+use crate::error::SimError;
+use crate::mitigation::{HookChain, Mitigation, MountCtx};
+use crate::report::{AttackOutcome, MitigationReport, RunReport, VictimReport};
+use crate::victim::{DeployedVictim, VictimSpec};
+
+/// The attack-side resource budget of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum aggressor activations per hammer campaign.
+    pub max_activations: u64,
+    /// Hammer loop checks the victim bit every this many activations.
+    pub check_interval: u64,
+    /// Iterations for progressive attacks (BFA, random flips).
+    pub iterations: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self { max_activations: 20_000, check_interval: 8, iterations: 10 }
+    }
+}
+
+/// Entry point of the unified simulation API: `Scenario::builder()`.
+pub struct Scenario;
+
+impl Scenario {
+    /// Starts building a scenario.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::new()
+    }
+}
+
+/// Builds a [`ScenarioRun`] from parts.
+pub struct ScenarioBuilder {
+    label: String,
+    config: MemCtrlConfig,
+    victims: Vec<VictimSpec>,
+    attack: Option<Box<dyn Attack>>,
+    defenses: Vec<Box<dyn Mitigation>>,
+    budget: Budget,
+    eval_batch: usize,
+    target: usize,
+}
+
+impl ScenarioBuilder {
+    fn new() -> Self {
+        Self {
+            label: "unnamed".to_owned(),
+            config: MemCtrlConfig::tiny_for_tests(),
+            victims: Vec::new(),
+            attack: None,
+            defenses: Vec::new(),
+            budget: Budget::default(),
+            eval_batch: 64,
+            target: 0,
+        }
+    }
+
+    /// Names the scenario (shows up in the report).
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Sets the device/controller configuration (default: the tiny
+    /// test geometry, TRH 16).
+    pub fn geometry(mut self, config: MemCtrlConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Adds a victim. Repeatable: later victims share the device
+    /// (multi-tenant scenarios).
+    pub fn victim(mut self, spec: VictimSpec) -> Self {
+        self.victims.push(spec);
+        self
+    }
+
+    /// Sets the attack (or benign workload) driver.
+    pub fn attack(mut self, attack: impl Attack + 'static) -> Self {
+        self.attack = Some(Box::new(attack));
+        self
+    }
+
+    /// Mounts a defense. Repeatable: multiple defenses stack into a
+    /// [`HookChain`] consulted in mount order.
+    pub fn defense(mut self, mitigation: impl Mitigation + 'static) -> Self {
+        self.defenses.push(Box::new(mitigation));
+        self
+    }
+
+    /// Sets the attack budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Held-out sample size for accuracy measurements (default 64).
+    pub fn eval_batch(mut self, n: usize) -> Self {
+        self.eval_batch = n.max(1);
+        self
+    }
+
+    /// Which victim the attack targets (default 0, the first).
+    pub fn target_victim(mut self, index: usize) -> Self {
+        self.target = index;
+        self
+    }
+
+    /// Deploys the victims, mounts the defenses and returns the
+    /// executable pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Build`] for an empty victim list or a bad
+    /// target index, and propagates deployment/mount failures.
+    pub fn build(self) -> Result<ScenarioRun, SimError> {
+        if self.victims.is_empty() {
+            return Err(SimError::Build(format!("scenario '{}' has no victim", self.label)));
+        }
+        if self.target >= self.victims.len() {
+            return Err(SimError::Build(format!(
+                "target victim {} out of range ({} victims)",
+                self.target,
+                self.victims.len()
+            )));
+        }
+        let mut ctrl = MemoryController::new(self.config);
+        let mut victims = Vec::with_capacity(self.victims.len());
+        for spec in self.victims {
+            victims.push(spec.deploy(&mut ctrl)?);
+        }
+        let guarded: Vec<(u64, u64)> =
+            victims.iter().flat_map(|v| v.guarded_ranges().iter().copied()).collect();
+        let ctx = MountCtx { geometry: ctrl.geometry(), mapper: ctrl.mapper(), guarded: &guarded };
+        let mut hooks = Vec::with_capacity(self.defenses.len());
+        for mitigation in &self.defenses {
+            hooks.push(mitigation.mount(&ctx)?);
+        }
+        match hooks.len() {
+            0 => {}
+            1 => {
+                ctrl.set_hook(hooks.pop().expect("one hook"));
+            }
+            _ => {
+                ctrl.set_hook(Box::new(HookChain::new(hooks)));
+            }
+        }
+        Ok(ScenarioRun {
+            label: self.label,
+            ctrl,
+            victims,
+            attack: self.attack,
+            defenses: self.defenses,
+            budget: self.budget,
+            eval_batch: self.eval_batch,
+            target: self.target,
+        })
+    }
+}
+
+/// A built, deployed pipeline, ready to run.
+pub struct ScenarioRun {
+    label: String,
+    ctrl: MemoryController,
+    victims: Vec<DeployedVictim>,
+    attack: Option<Box<dyn Attack>>,
+    defenses: Vec<Box<dyn Mitigation>>,
+    budget: Budget,
+    eval_batch: usize,
+    target: usize,
+}
+
+impl std::fmt::Debug for ScenarioRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioRun")
+            .field("label", &self.label)
+            .field("victims", &self.victims.len())
+            .field("attack", &self.attack.as_ref().map(|a| a.name()))
+            .field("hook", &self.ctrl.hook().name())
+            .field("budget", &self.budget)
+            .finish()
+    }
+}
+
+impl ScenarioRun {
+    /// The scenario label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The scenario's budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// The memory controller (read-only).
+    pub fn controller(&self) -> &MemoryController {
+        &self.ctrl
+    }
+
+    /// Mutable access to the controller — for demonstrations and tests
+    /// that drive extra traffic through the same pipeline.
+    pub fn controller_mut(&mut self) -> &mut MemoryController {
+        &mut self.ctrl
+    }
+
+    /// The deployed victims.
+    pub fn victims(&self) -> &[DeployedVictim] {
+        &self.victims
+    }
+
+    /// One deployed victim.
+    pub fn victim(&self, index: usize) -> &DeployedVictim {
+        &self.victims[index]
+    }
+
+    /// Reloads victim `index`'s model from the device through the
+    /// controller (trusted reads, following defense redirects).
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors; `Ok(None)` for raw-row victims.
+    pub fn reload_model(&mut self, index: usize) -> Result<Option<QuantizedMlp>, SimError> {
+        let victim = &self.victims[index];
+        victim.reload_model(&mut self.ctrl)
+    }
+
+    /// Executes the attack phase, then measures every victim and
+    /// assembles the unified report. Cycle/energy/controller statistics
+    /// are snapshotted at the end of the attack phase, before the
+    /// measurement probes. Calling `run` again re-executes the attack
+    /// on the already-attacked device (useful for benchmarking a
+    /// steady-state defended campaign); accuracy baselines always refer
+    /// to the pristine deployment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attack and measurement failures.
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
+        let accuracy_before: Vec<Option<f64>> = self
+            .victims
+            .iter()
+            .map(|v| v.victim().and_then(|vic| v.accuracy_pct(&vic.model, self.eval_batch)))
+            .collect();
+
+        let (outcome, attack_name) = match self.attack.take() {
+            Some(mut attack) => {
+                let mut env = RunEnv {
+                    ctrl: &mut self.ctrl,
+                    victims: &self.victims,
+                    target: self.target,
+                    budget: self.budget,
+                    eval_batch: self.eval_batch,
+                };
+                let result = attack.execute(&mut env);
+                let name = attack.name().to_owned();
+                self.attack = Some(attack);
+                (result?, name)
+            }
+            None => (AttackOutcome::default(), String::new()),
+        };
+
+        // Snapshot attack-phase costs before the measurement probes
+        // drive their own traffic.
+        let cycles = self.ctrl.dram().stats().cycles;
+        let energy_pj = self.ctrl.dram().stats().energy_pj;
+        let controller = *self.ctrl.stats();
+
+        let mut victim_reports = Vec::with_capacity(self.victims.len());
+        for (index, victim) in self.victims.iter().enumerate() {
+            let reloaded = victim.reload_model(&mut self.ctrl)?;
+            let accuracy_after_pct =
+                reloaded.and_then(|model| victim.accuracy_pct(&model, self.eval_batch));
+            let data_intact = victim.data_intact(&mut self.ctrl)?;
+            victim_reports.push(VictimReport {
+                accuracy_before_pct: accuracy_before[index],
+                accuracy_after_pct,
+                data_intact,
+            });
+        }
+
+        let hook = self.ctrl.hook();
+        let mitigations: Vec<MitigationReport> = match hook
+            .as_any()
+            .and_then(|any| any.downcast_ref::<HookChain>())
+        {
+            Some(chain) => self
+                .defenses
+                .iter()
+                .zip(chain.hooks())
+                .map(|(m, h)| MitigationReport {
+                    name: m.name().to_owned(),
+                    actions: m.actions(h.as_ref()),
+                })
+                .collect(),
+            None => self
+                .defenses
+                .iter()
+                .map(|m| MitigationReport { name: m.name().to_owned(), actions: m.actions(hook) })
+                .collect(),
+        };
+
+        Ok(RunReport {
+            scenario: self.label.clone(),
+            attack: attack_name,
+            defenses: self.defenses.iter().map(|m| m.name().to_owned()).collect(),
+            landed_flips: outcome.landed_flips,
+            requests: outcome.requests,
+            denied: outcome.denied,
+            redirected: outcome.redirected,
+            target_bits: outcome.target_bits,
+            flipped_bits: outcome.flipped_bits,
+            curve: outcome.curve,
+            cycles,
+            energy_pj,
+            controller,
+            victims: victim_reports,
+            mitigations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{HammerAttack, RowProbe};
+    use crate::mitigation::{LockerMitigation, TrackerMitigation};
+    use dlk_defenses::Graphene;
+
+    fn hammer_budget() -> Budget {
+        Budget { max_activations: 4_000, check_interval: 8, iterations: 1 }
+    }
+
+    #[test]
+    fn builder_rejects_empty_scenarios() {
+        assert!(matches!(Scenario::builder().build(), Err(SimError::Build(_))));
+        let bad_target = Scenario::builder().victim(VictimSpec::row(5, 1)).target_victim(3).build();
+        assert!(matches!(bad_target, Err(SimError::Build(_))));
+    }
+
+    #[test]
+    fn undefended_hammer_harms_the_row_victim() {
+        let mut run = Scenario::builder()
+            .label("undefended")
+            .victim(VictimSpec::row(20, 0xA5))
+            .attack(HammerAttack::bit(77))
+            .budget(hammer_budget())
+            .build()
+            .unwrap();
+        let report = run.run().unwrap();
+        assert_eq!(report.landed_flips, 1);
+        assert_eq!(report.denied, 0);
+        assert_eq!(report.victims[0].data_intact, Some(false));
+        assert!(report.harmed());
+    }
+
+    #[test]
+    fn locker_denies_the_same_campaign() {
+        let mut run = Scenario::builder()
+            .label("defended")
+            .victim(VictimSpec::row(20, 0xA5))
+            .attack(HammerAttack::bit(77))
+            .defense(LockerMitigation::adjacent())
+            .budget(hammer_budget())
+            .build()
+            .unwrap();
+        let report = run.run().unwrap();
+        assert!(report.fully_denied(), "{report:?}");
+        assert_eq!(report.victims[0].data_intact, Some(true));
+        assert!(!report.harmed());
+        assert_eq!(report.defenses, vec!["dram-locker".to_owned()]);
+        assert!(report.mitigation_total() > 0);
+    }
+
+    #[test]
+    fn stacked_defenses_report_individually() {
+        let mut run = Scenario::builder()
+            .label("stacked")
+            .victim(VictimSpec::row(20, 0xA5))
+            .attack(HammerAttack::bit(77))
+            .defense(LockerMitigation::adjacent())
+            .defense(TrackerMitigation::new(Graphene::new(64, 8)))
+            .budget(hammer_budget())
+            .build()
+            .unwrap();
+        let report = run.run().unwrap();
+        assert_eq!(report.mitigations.len(), 2);
+        assert_eq!(report.mitigations[0].name, "dram-locker");
+        assert_eq!(report.mitigations[1].name, "graphene");
+        // The locker denies everything, so the tracker sees nothing.
+        assert!(report.fully_denied());
+        assert!(report.mitigations[0].actions > 0);
+    }
+
+    #[test]
+    fn probe_against_data_locked_row_is_denied_but_data_flows_for_victim() {
+        let mut run = Scenario::builder()
+            .label("probe")
+            .victim(VictimSpec::row(10, 0x42))
+            .attack(RowProbe { accesses: 100 })
+            .defense(LockerMitigation::data_rows())
+            .build()
+            .unwrap();
+        let report = run.run().unwrap();
+        assert_eq!(report.denied, 100);
+        // The integrity probe (trusted) was served via SWAP + redirect.
+        assert_eq!(report.victims[0].data_intact, Some(true));
+    }
+
+    #[test]
+    fn report_snapshots_attack_phase_costs() {
+        let mut run = Scenario::builder()
+            .victim(VictimSpec::row(20, 0xA5))
+            .attack(HammerAttack::bit(3))
+            .budget(hammer_budget())
+            .build()
+            .unwrap();
+        let report = run.run().unwrap();
+        assert!(report.cycles > 0);
+        assert!(report.energy_pj > 0.0);
+        // The trailing integrity read is excluded from the snapshot.
+        assert!(run.controller().dram().stats().cycles > report.cycles);
+    }
+}

@@ -1,18 +1,17 @@
 //! Fig. 8: BFA accuracy degradation with and without DRAM-Locker.
 //!
 //! 100 attack iterations against (a) ResNet-20-like / CIFAR-10-like
-//! and (b) VGG-11-like / CIFAR-100-like. Without the defense every
-//! iteration lands its chosen flip. With DRAM-Locker under worst-case
-//! ±20% process variation, an iteration only succeeds when an
-//! erroneous SWAP leaves a window — 9.6% of the time (§IV-D) — so the
-//! attacker needs an order of magnitude more iterations for the same
-//! damage.
+//! and (b) VGG-11-like / CIFAR-100-like, each run through the unified
+//! scenario pipeline with a DRAM-deployed weight image and the
+//! [`ProgressiveBfa`] driver. Without the defense every iteration lands
+//! its chosen flip. With DRAM-Locker under worst-case ±20% process
+//! variation, an iteration only succeeds when an erroneous SWAP leaves
+//! a window — 9.6% of the time (§IV-D) — so the attacker needs an order
+//! of magnitude more iterations for the same damage.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
-use dlk_attacks::bfa::{BfaConfig, BitSearch};
 use dlk_dnn::models::{self, Victim};
+use dlk_memctrl::MemCtrlConfig;
+use dlk_sim::{Budget, ProgressiveBfa, Scenario, VictimSpec};
 
 use crate::report::Series;
 
@@ -42,24 +41,33 @@ impl Fig8Panel {
     }
 }
 
+const WEIGHT_BASE: u64 = 0x400;
+
 fn attack(victim: &Victim, iterations: usize, success_rate: f64, seed: u64) -> Series {
     let label = if success_rate >= 1.0 { "without DRAM-Locker" } else { "with DRAM-Locker" };
-    let (x, y) = victim.dataset.test_sample(128, 0);
-    let mut model = victim.model.clone();
-    let mut search = BitSearch::new(BfaConfig::default());
-    let mut rng = StdRng::seed_from_u64(seed);
+    // The big models outgrow the tiny test device; Fig. 8 deploys onto
+    // the paper-scale default geometry when the image would not fit.
+    let tiny = MemCtrlConfig::tiny_for_tests();
+    let image_end = WEIGHT_BASE + victim.model.total_weights() as u64;
+    let geometry = if image_end <= tiny.dram.geometry.capacity_bytes() {
+        tiny
+    } else {
+        MemCtrlConfig::default()
+    };
+    let report = Scenario::builder()
+        .label(label)
+        .geometry(geometry)
+        .victim(VictimSpec::model(victim.clone(), WEIGHT_BASE))
+        .attack(ProgressiveBfa::new(success_rate, seed))
+        .budget(Budget { max_activations: 0, check_interval: 1, iterations })
+        .eval_batch(128)
+        .build()
+        .expect("fig8 scenario builds")
+        .run()
+        .expect("fig8 scenario runs");
     let mut series = Series::new(label);
-    let clean = model.accuracy(&x, &y).expect("shapes consistent");
-    series.push(0.0, clean * 100.0);
-    for iteration in 1..=iterations {
-        let landed = success_rate >= 1.0 || rng.random_bool(success_rate);
-        if landed {
-            if let Some(flip) = search.next_flip(&model, &x, &y) {
-                model.flip_bit(flip).expect("valid index");
-            }
-        }
-        let accuracy = model.accuracy(&x, &y).expect("shapes consistent");
-        series.push(iteration as f64, accuracy * 100.0);
+    for (iteration, accuracy_pct) in report.curve {
+        series.push(iteration, accuracy_pct);
     }
     series
 }

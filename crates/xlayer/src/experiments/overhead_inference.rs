@@ -3,15 +3,15 @@
 //! in the Table II discussion).
 //!
 //! The victim's inference loop streams every weight byte from DRAM
-//! once per batch. With the protection plan locking only the *adjacent*
-//! rows, the victim's reads never touch a locked row, so the only cost
-//! is the one-cycle lock-table check per request — which is the
-//! argument for the adjacent-row policy in §IV-A.
+//! once per batch — the [`InferenceStream`] driver of the unified
+//! scenario pipeline. With the protection plan locking only the
+//! *adjacent* rows, the victim's reads never touch a locked row, so the
+//! only cost is the one-cycle lock-table check per request — which is
+//! the argument for the adjacent-row policy in §IV-A.
 
 use dlk_dnn::models;
-use dlk_dnn::WeightLayout;
-use dlk_locker::{DramLocker, LockTarget, LockerConfig, ProtectionPlan};
-use dlk_memctrl::{MemCtrlConfig, MemCtrlError, MemRequest, MemoryController};
+use dlk_locker::LockTarget;
+use dlk_sim::{InferenceStream, LockerMitigation, Scenario, SimError, VictimSpec};
 
 use crate::report::Table;
 
@@ -28,47 +28,37 @@ pub struct OverheadRun {
     pub denied: u64,
 }
 
-fn stream_weights(lock_target: Option<LockTarget>) -> Result<OverheadRun, MemCtrlError> {
-    let victim = models::victim_tiny(3);
-    let config = MemCtrlConfig::tiny_for_tests();
-    let mut ctrl = MemoryController::new(config);
-    let layout = WeightLayout::new(0x400, *ctrl.mapper());
-    layout.deploy(&victim.model, ctrl.dram_mut()).map_err(|_| MemCtrlError::AddressOutOfRange {
-        addr: 0x400,
-        capacity: ctrl.mapper().capacity(),
-    })?;
-    let (start, end) = layout.phys_range(&victim.model);
+fn stream_weights(lock_target: Option<LockTarget>) -> Result<OverheadRun, SimError> {
     let label = match lock_target {
         None => "no defense".to_owned(),
-        Some(target) => {
-            let mut locker = DramLocker::new(LockerConfig::default(), ctrl.geometry());
-            let mut plan = ProtectionPlan::new(target);
-            plan.protect_range(ctrl.mapper(), start, end)
-                .map_err(|_| MemCtrlError::TranslationFault { vaddr: start })?;
-            plan.apply(&mut locker).map_err(|_| MemCtrlError::TranslationFault { vaddr: start })?;
-            ctrl.set_hook(Box::new(locker));
-            format!("locker ({target:?})")
-        }
+        Some(target) => format!("locker ({target:?})"),
     };
-    // Ten inference batches: stream the weight image in 32-byte reads.
-    for _ in 0..10 {
-        let mut addr = start;
-        while addr < end {
-            let len = 32.min((end - addr) as usize);
-            ctrl.service(MemRequest::read(addr, len))?;
-            addr += len as u64;
-        }
-    }
+    let mut builder = Scenario::builder()
+        .label(label.clone())
+        .victim(VictimSpec::model(models::victim_tiny(3), 0x400))
+        .attack(InferenceStream { batches: 10, chunk: 32 });
+    builder = match lock_target {
+        None => builder,
+        Some(LockTarget::AdjacentRows) => builder.defense(LockerMitigation::adjacent()),
+        Some(LockTarget::DataRows) => builder.defense(LockerMitigation::data_rows()),
+        Some(LockTarget::Both) => builder
+            .defense(LockerMitigation::new(dlk_locker::LockerConfig::default(), LockTarget::Both)),
+    };
+    let report = builder.build()?.run()?;
     Ok(OverheadRun {
         label,
-        cycles: ctrl.dram().stats().cycles,
-        energy_pj: ctrl.dram().stats().energy_pj,
-        denied: ctrl.stats().denied,
+        cycles: report.cycles,
+        energy_pj: report.energy_pj,
+        denied: report.denied,
     })
 }
 
 /// Runs the three configurations and builds the report table.
-pub fn run() -> Result<Table, MemCtrlError> {
+///
+/// # Errors
+///
+/// Propagates scenario failures.
+pub fn run() -> Result<Table, SimError> {
     let mut table = Table::new(
         "Inference-traffic overhead of DRAM-Locker",
         &["Scenario", "Cycles", "Energy (nJ)", "Denied", "Cycle overhead %"],
@@ -92,7 +82,11 @@ pub fn run() -> Result<Table, MemCtrlError> {
 }
 
 /// The adjacent-rows cycle overhead as a fraction (for assertions).
-pub fn adjacent_rows_overhead() -> Result<f64, MemCtrlError> {
+///
+/// # Errors
+///
+/// Propagates scenario failures.
+pub fn adjacent_rows_overhead() -> Result<f64, SimError> {
     let baseline = stream_weights(None)?;
     let defended = stream_weights(Some(LockTarget::AdjacentRows))?;
     Ok(defended.cycles as f64 / baseline.cycles as f64 - 1.0)

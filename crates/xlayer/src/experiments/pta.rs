@@ -1,21 +1,18 @@
 //! §V: the Page Table Attack evaluation.
 //!
-//! End-to-end through the full stack: the victim's quantized weights
-//! live in physical frames mapped by a DRAM-resident page table; the
+//! End-to-end through the unified [`Scenario`](dlk_sim::Scenario)
+//! pipeline: the victim's quantized weights live in physical frames
+//! mapped by a DRAM-resident page table ([`VictimSpec::paged`]); the
 //! attacker stages a corrupted copy of a weight page at the frame the
-//! PTE would point to after one PFN-bit flip, then hammers the PTE row.
-//! Undefended, translation silently redirects and the victim loads
-//! poisoned weights. With DRAM-Locker guarding the page-table rows
-//! (locking their aggressor-candidate neighbours), every hammer access
-//! is denied and the weights survive untouched.
+//! PTE would point to after one PFN-bit flip, then hammers the PTE row
+//! ([`PageTablePoison`]). Undefended, translation silently redirects
+//! and the victim loads poisoned weights. With DRAM-Locker guarding the
+//! page-table rows (locking their aggressor-candidate neighbours),
+//! every hammer access is denied and the weights survive untouched.
 
-use dlk_attacks::hammer::HammerConfig;
-use dlk_attacks::pta::{PtaAttack, PtaConfig};
-use dlk_dnn::models::{self, Victim};
-use dlk_dnn::QuantizedMlp;
-use dlk_locker::{DramLocker, LockTarget, LockerConfig, ProtectionPlan};
-use dlk_memctrl::{
-    MemCtrlConfig, MemCtrlError, MemoryController, PageTable, PageTableConfig, VirtAddr,
+use dlk_dnn::models;
+use dlk_sim::{
+    Budget, LockerMitigation, PageTablePoison, Scenario, ScenarioBuilder, SimError, VictimSpec,
 };
 
 use crate::report::Table;
@@ -35,130 +32,44 @@ pub struct PtaRun {
     pub accuracy_after_pct: f64,
 }
 
-const PAGE_SIZE: u64 = 256;
-const WEIGHT_PFN: u64 = 8;
-const TABLE_BASE: u64 = 4096;
-
-struct PtaBench {
-    controller: MemoryController,
-    table: PageTable,
-    victim: Victim,
-    pages: u64,
-}
-
-impl PtaBench {
-    fn new(victim: Victim, defended: bool) -> Result<Self, MemCtrlError> {
-        let config = MemCtrlConfig::tiny_for_tests();
-        let weight_bytes = victim.model.weight_bytes();
-        let pages = (weight_bytes.len() as u64).div_ceil(PAGE_SIZE);
-        let table = PageTable::new(PageTableConfig {
-            page_size: PAGE_SIZE,
-            base_phys: TABLE_BASE,
-            num_pages: pages,
-        });
-        let mut controller = MemoryController::new(config);
-        let mapper = *controller.mapper();
-        // Install translations and deposit the weight image frame by
-        // frame.
-        for page in 0..pages {
-            table.map(controller.dram_mut(), &mapper, page, WEIGHT_PFN + page)?;
-            let start = (page * PAGE_SIZE) as usize;
-            let end = (start + PAGE_SIZE as usize).min(weight_bytes.len());
-            let phys = (WEIGHT_PFN + page) * PAGE_SIZE;
-            let mut offset = 0usize;
-            while start + offset < end {
-                let (row, col) = mapper.to_dram(phys + offset as u64)?;
-                let take = (mapper.geometry().row_bytes - col).min(end - start - offset);
-                let mut row_data = controller.dram().read_row(row).map_err(MemCtrlError::Dram)?;
-                row_data[col..col + take]
-                    .copy_from_slice(&weight_bytes[start + offset..start + offset + take]);
-                controller.dram_mut().write_row(row, &row_data).map_err(MemCtrlError::Dram)?;
-                offset += take;
-            }
-        }
-        // The OS isolates kernel page tables and the victim's frames;
-        // the attacker can only activate its own (adjacent) rows.
-        let table_bytes = pages * 8;
-        controller.os_protect_range(TABLE_BASE, TABLE_BASE + table_bytes);
-        controller.os_protect_range(WEIGHT_PFN * PAGE_SIZE, (WEIGHT_PFN + pages) * PAGE_SIZE);
-        if defended {
-            // DRAM-Locker guards the page-table rows: the protection
-            // plan locks the rows an attacker must hammer.
-            let mut locker = DramLocker::new(LockerConfig::default(), mapper.geometry().to_owned());
-            let mut plan = ProtectionPlan::new(LockTarget::AdjacentRows);
-
-            plan.protect_range(&mapper, TABLE_BASE, TABLE_BASE + table_bytes)
-                .map_err(|_| MemCtrlError::TranslationFault { vaddr: TABLE_BASE })?;
-            plan.apply(&mut locker)
-                .map_err(|_| MemCtrlError::TranslationFault { vaddr: TABLE_BASE })?;
-            controller.set_hook(Box::new(locker));
-        }
-        Ok(Self { controller, table, victim, pages })
-    }
-
-    /// Loads the model weights exactly as the victim process would:
-    /// virtual addresses, page walks, DRAM reads.
-    fn load_via_translation(&mut self) -> Result<QuantizedMlp, MemCtrlError> {
-        let total = self.victim.model.total_weights();
-        let mapper = *self.controller.mapper();
-        let mut bytes = Vec::with_capacity(total);
-        while bytes.len() < total {
-            let vaddr = VirtAddr(bytes.len() as u64);
-            let pa = self.table.translate(self.controller.dram(), &mapper, vaddr)?;
-            let row_bytes = mapper.geometry().row_bytes as u64;
-            let take = (PAGE_SIZE - pa % PAGE_SIZE)
-                .min(row_bytes - pa % row_bytes)
-                .min((total - bytes.len()) as u64);
-            let request = dlk_memctrl::MemRequest::read(pa, take as usize);
-            let done = self.controller.service(request)?;
-            bytes.extend_from_slice(done.data.as_deref().unwrap_or(&[]));
-        }
-        let mut model = self.victim.model.clone();
-        model.load_weight_bytes(&bytes).map_err(|_| MemCtrlError::TranslationFault { vaddr: 0 })?;
-        Ok(model)
-    }
-
-    fn accuracy_pct(&self, model: &QuantizedMlp) -> f64 {
-        let (x, y) = self.victim.dataset.test_sample(64, 0);
-        model.accuracy(&x, &y).expect("shapes consistent") * 100.0
+/// The PTA scenario, with or without DRAM-Locker mounted.
+pub fn scenario(defended: bool) -> ScenarioBuilder {
+    let builder = Scenario::builder()
+        .label(if defended { "with DRAM-Locker" } else { "without DRAM-Locker" })
+        .victim(VictimSpec::paged(models::victim_tiny(21)))
+        .attack(PageTablePoison { pfn_bit: 1, payload_xor: 0x80 })
+        .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 1 })
+        .eval_batch(64);
+    if defended {
+        builder.defense(LockerMitigation::adjacent())
+    } else {
+        builder
     }
 }
 
 /// Runs the PTA end to end, with or without DRAM-Locker.
-pub fn run_scenario(defended: bool) -> Result<PtaRun, MemCtrlError> {
-    let victim = models::victim_tiny(21);
-    let mut bench = PtaBench::new(victim, defended)?;
-    let clean = bench.load_via_translation()?;
-    let accuracy_before = bench.accuracy_pct(&clean);
-
-    // Attacker stages a poisoned copy of page 0 (every weight's MSB
-    // flipped) at the frame one PFN-bit flip away, then hammers.
-    let attack = PtaAttack::new(PtaConfig {
-        pfn_bit: 1,
-        hammer: HammerConfig { max_activations: 20_000, check_interval: 8 },
-    });
-    let mut payload = bench.victim.model.weight_bytes();
-    payload.truncate(PAGE_SIZE as usize);
-    for byte in &mut payload {
-        *byte ^= 0x80;
-    }
-    attack.stage_payload(&mut bench.controller, &bench.table, 0, &payload)?;
-    let outcome = attack.execute(&mut bench.controller, &bench.table, 0)?;
-
-    let after = bench.load_via_translation()?;
-    let accuracy_after = bench.accuracy_pct(&after);
-    let _ = bench.pages;
+///
+/// # Errors
+///
+/// Propagates scenario build/run failures.
+pub fn run_scenario(defended: bool) -> Result<PtaRun, SimError> {
+    let report = scenario(defended).build()?.run()?;
+    let victim = report.victim().clone();
     Ok(PtaRun {
-        label: if defended { "with DRAM-Locker" } else { "without DRAM-Locker" }.to_owned(),
-        redirected: outcome.redirected,
-        denied: outcome.hammer.denied,
-        accuracy_before_pct: accuracy_before,
-        accuracy_after_pct: accuracy_after,
+        label: report.scenario,
+        redirected: report.redirected,
+        denied: report.denied,
+        accuracy_before_pct: victim.accuracy_before_pct.unwrap_or(0.0),
+        accuracy_after_pct: victim.accuracy_after_pct.unwrap_or(0.0),
     })
 }
 
 /// Runs both scenarios and builds the report table.
-pub fn run() -> Result<Table, MemCtrlError> {
+///
+/// # Errors
+///
+/// Propagates scenario failures.
+pub fn run() -> Result<Table, SimError> {
     let mut table = Table::new(
         "PTA evaluation (SV): page-table attack on DNN weights",
         &["Scenario", "PTE redirected", "Denied accesses", "Acc before %", "Acc after %"],

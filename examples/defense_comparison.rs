@@ -1,55 +1,50 @@
-//! Mounts every RowHammer defense in the workspace on the same memory
-//! controller and subjects each to the same hammer campaign, then
-//! prints the Table I overhead comparison.
+//! Mounts every RowHammer defense in the workspace on the same
+//! scenario and subjects each to the same hammer campaign, then prints
+//! the Table I overhead comparison.
 //!
 //! Run with: `cargo run --release --example defense_comparison`
 
-use dram_locker::attacks::hammer::{HammerConfig, HammerDriver};
-use dram_locker::defenses::{
-    CounterDefenseHook, CounterPerRow, Graphene, Hydra, RowSwapDefense, Shadow, SwapPolicy, Twice,
+use dram_locker::defenses::{CounterPerRow, Graphene, Hydra, SwapPolicy, Twice};
+use dram_locker::sim::{
+    Budget, HammerAttack, LockerMitigation, Mitigation, RowSwapMitigation, Scenario,
+    ShadowMitigation, TrackerMitigation, VictimSpec,
 };
-use dram_locker::dram::RowAddr;
-use dram_locker::locker::{DramLocker, LockerConfig};
-use dram_locker::memctrl::{DefenseHook, MemCtrlConfig, MemoryController};
 use dram_locker::xlayer::experiments::table1;
 
-fn campaign(hook: Option<Box<dyn DefenseHook>>) -> (bool, u64, u64) {
-    let config = MemCtrlConfig::tiny_for_tests(); // TRH = 16
-    let mut ctrl = match hook {
-        Some(hook) => MemoryController::with_hook(config, hook),
-        None => MemoryController::new(config),
-    };
-    let victim = RowAddr::new(0, 0, 20);
-    let driver = HammerDriver::new(HammerConfig { max_activations: 5_000, check_interval: 8 });
-    let outcome = driver.hammer_bit(&mut ctrl, victim, 99).expect("campaign runs");
-    (outcome.flipped, outcome.requests, outcome.denied)
+fn campaign(defense: Option<Box<dyn Mitigation>>) -> (bool, u64, u64) {
+    // TRH = 16 on the tiny test geometry (the builder's default).
+    let mut builder = Scenario::builder()
+        .label("defense-comparison")
+        .victim(VictimSpec::row(20, 0xA5))
+        .attack(HammerAttack::bit(99))
+        .budget(Budget { max_activations: 5_000, check_interval: 8, iterations: 1 });
+    if let Some(defense) = defense {
+        builder = builder.defense(defense);
+    }
+    let report = builder.build().expect("scenario builds").run().expect("campaign runs");
+    (report.landed_flips > 0, report.requests, report.denied)
 }
 
 fn main() {
-    let geometry = MemCtrlConfig::tiny_for_tests().dram.geometry;
     println!("hammer campaign against row 20, TRH = 16, budget 5000 activations\n");
     println!("{:<18} {:>8} {:>10} {:>8}", "defense", "flipped", "requests", "denied");
 
-    let rows: Vec<(&str, Option<Box<dyn DefenseHook>>)> = vec![
+    let rows: Vec<(&str, Option<Box<dyn Mitigation>>)> = vec![
         ("none", None),
-        ("graphene", Some(Box::new(CounterDefenseHook::new(Graphene::new(64, 8))))),
-        ("hydra", Some(Box::new(CounterDefenseHook::new(Hydra::new(16, 4, 8))))),
-        ("twice", Some(Box::new(CounterDefenseHook::new(Twice::new(8, 64, 1))))),
-        ("counter-per-row", Some(Box::new(CounterDefenseHook::new(CounterPerRow::new(8))))),
-        ("rrs", Some(Box::new(RowSwapDefense::new(SwapPolicy::Randomized, 8, 1)))),
-        ("srs", Some(Box::new(RowSwapDefense::new(SwapPolicy::Secure, 8, 1)))),
-        ("shadow", Some(Box::new(Shadow::new(8, 1)))),
-        ("dram-locker", {
-            let mut locker = DramLocker::new(LockerConfig::default(), geometry);
-            // Lock the aggressor-candidate rows around the victim.
-            locker.lock_row(RowAddr::new(0, 0, 19)).expect("capacity");
-            locker.lock_row(RowAddr::new(0, 0, 21)).expect("capacity");
-            Some(Box::new(locker))
-        }),
+        ("graphene", Some(Box::new(TrackerMitigation::new(Graphene::new(64, 8))))),
+        ("hydra", Some(Box::new(TrackerMitigation::new(Hydra::new(16, 4, 8))))),
+        ("twice", Some(Box::new(TrackerMitigation::new(Twice::new(8, 64, 1))))),
+        ("counter-per-row", Some(Box::new(TrackerMitigation::new(CounterPerRow::new(8))))),
+        ("rrs", Some(Box::new(RowSwapMitigation::new(SwapPolicy::Randomized, 8, 1)))),
+        ("srs", Some(Box::new(RowSwapMitigation::new(SwapPolicy::Secure, 8, 1)))),
+        ("shadow", Some(Box::new(ShadowMitigation::new(8, 1)))),
+        // The protection plan locks the aggressor-candidate rows
+        // around the guarded victim row.
+        ("dram-locker", Some(Box::new(LockerMitigation::adjacent()))),
     ];
 
-    for (name, hook) in rows {
-        let (flipped, requests, denied) = campaign(hook);
+    for (name, defense) in rows {
+        let (flipped, requests, denied) = campaign(defense);
         println!("{name:<18} {flipped:>8} {requests:>10} {denied:>8}");
     }
 

@@ -4,25 +4,32 @@
 //! attacker-staged poisoned frame. DRAM-Locker protects the page table
 //! the same way it protects data rows.
 //!
+//! Both runs come out of the scenario catalog — the same pipelines the
+//! `pta` experiment sweeps.
+//!
 //! Run with: `cargo run --release --example page_table_attack`
 
+use dram_locker::sim;
 use dram_locker::xlayer::experiments::pta;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let table = pta::run()?;
     println!("{table}");
 
-    let undefended = pta::run_scenario(false)?;
-    let defended = pta::run_scenario(true)?;
+    let undefended = sim::find("pta-vs-none").expect("catalog entry").scenario().build()?.run()?;
+    let defended =
+        sim::find("pta-vs-dram-locker").expect("catalog entry").scenario().build()?.run()?;
     println!(
         "undefended: PTE redirected={}, accuracy {:.1}% -> {:.1}%",
-        undefended.redirected, undefended.accuracy_before_pct, undefended.accuracy_after_pct
+        undefended.redirected,
+        undefended.victim().accuracy_before_pct.unwrap_or(0.0),
+        undefended.victim().accuracy_after_pct.unwrap_or(0.0)
     );
     println!(
         "defended:   PTE redirected={}, accuracy {:.1}% -> {:.1}%, {} hammer accesses denied",
         defended.redirected,
-        defended.accuracy_before_pct,
-        defended.accuracy_after_pct,
+        defended.victim().accuracy_before_pct.unwrap_or(0.0),
+        defended.victim().accuracy_after_pct.unwrap_or(0.0),
         defended.denied
     );
     assert!(undefended.redirected && !defended.redirected);

@@ -6,6 +6,7 @@
 //! the default full mode reproduces the paper-scale numbers recorded
 //! in EXPERIMENTS.md.
 
+use dram_locker::sim;
 use dram_locker::xlayer::experiments::{
     fig1a, fig1b, fig7a, fig7b, fig8, generations, mc_variation, overhead_inference, pta, table1,
     table2, Fidelity,
@@ -34,6 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", pta::run()?);
     println!("{}", overhead_inference::run()?);
     println!("{}", generations::run());
+
+    println!("scenario catalog (run any with sim::find(name)):");
+    for entry in sim::catalog() {
+        println!("  {:<28} {:<20} {}", entry.name, entry.artifact, entry.description);
+    }
 
     println!("done — compare against EXPERIMENTS.md");
     Ok(())

@@ -7,82 +7,48 @@
 //! The OS already isolates the victim's own pages (an unprivileged
 //! attacker cannot *address* them), so the attacker's only aggressors
 //! are the unowned rows physically adjacent to the weight image —
-//! exactly the rows the protection plan locks.
+//! exactly the rows the scenario's `LockerMitigation` locks. The
+//! gradient scan that picks the most damaging reachable bit is
+//! `dlk_dnn::models::best_edge_target`, the same helper the
+//! `BfaHammerAttack` driver uses.
 //!
 //! Run with: `cargo run --release --example protect_dnn_weights`
 
-use dram_locker::attacks::hammer::{HammerConfig, HammerDriver};
 use dram_locker::dnn::models;
-use dram_locker::dnn::{BitIndex, WeightLayout};
-use dram_locker::locker::{DramLocker, LockTarget, LockerConfig, ProtectionPlan};
-use dram_locker::memctrl::{MemCtrlConfig, MemoryController};
+use dram_locker::sim::{BfaHammerAttack, Budget, LockerMitigation, Scenario, VictimSpec};
 
 const WEIGHT_BASE: u64 = 0x400;
 
-/// The most damaging MSB flip among weights in the *first row* of the
-/// weight image — the row whose aggressor the attacker can reach.
-fn best_edge_target(
-    victim: &models::Victim,
-    layout: &WeightLayout,
-    x: &dram_locker::dnn::Tensor,
-    y: &[usize],
-) -> BitIndex {
-    let (_, grads) = victim.model.loss_and_grads(x, y).expect("shapes consistent");
-    let row_bytes = layout.mapper().geometry().row_bytes;
-    let edge_bytes = row_bytes - (WEIGHT_BASE as usize % row_bytes).min(row_bytes);
-    let mut best: Option<(f32, BitIndex)> = None;
-    for offset in 0..edge_bytes.min(victim.model.total_weights()) {
-        let (layer, weight) = victim.model.locate_byte(offset).expect("offset in image");
-        let index = BitIndex { layer, weight, bit: 7 };
-        let delta = victim.model.flip_delta(index).expect("valid index");
-        let gain = grads[layer].weight.as_slice()[weight] * delta;
-        if gain > 0.0 && best.is_none_or(|(b, _)| gain > b) {
-            best = Some((gain, index));
-        }
-    }
-    best.expect("an edge-row weight with positive gain exists").1
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Train and quantize the victim, then deploy its weights to DRAM.
+    // Train and quantize the victim once; both runs deploy clones.
     let victim = models::victim_tiny(21);
-    let (x, y) = victim.dataset.test_sample(48, 0);
     println!("victim trained: clean accuracy {:.1}%", victim.clean_accuracy * 100.0);
 
     let run = |defended: bool| -> Result<(f64, u64), Box<dyn std::error::Error>> {
-        let config = MemCtrlConfig::tiny_for_tests();
-        let mut ctrl = MemoryController::new(config);
-        let layout = WeightLayout::new(WEIGHT_BASE, *ctrl.mapper());
-        layout.deploy(&victim.model, ctrl.dram_mut())?;
-        // The OS isolates the victim's pages from the attacker.
-        let (start, end) = layout.phys_range(&victim.model);
-        ctrl.os_protect_range(start, end);
-
+        let mut builder = Scenario::builder()
+            .label(if defended { "with DRAM-Locker" } else { "without DRAM-Locker" })
+            .victim(VictimSpec::model(victim.clone(), WEIGHT_BASE))
+            .attack(BfaHammerAttack { batch: 48 })
+            .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 1 })
+            .eval_batch(48);
         if defended {
             // Register the weight image with the protection framework:
             // DRAM-Locker locks the rows an attacker must hammer.
-            let mut locker = DramLocker::new(LockerConfig::default(), ctrl.geometry());
-            let mut plan = ProtectionPlan::new(LockTarget::AdjacentRows);
-            plan.protect_range(ctrl.mapper(), start, end)?;
-            let locked = plan.apply(&mut locker)?;
-            println!("  protection plan locked {locked} aggressor-candidate rows");
-            ctrl.set_hook(Box::new(locker));
+            builder = builder.defense(LockerMitigation::adjacent());
         }
-
-        // The attacker flips the most damaging reachable weight bit.
-        let target = best_edge_target(&victim, &layout, &x, &y);
-        let (victim_row, bit_in_row) = layout.bit_location(&victim.model, target)?;
-        let driver = HammerDriver::new(HammerConfig { max_activations: 20_000, check_interval: 8 });
-        let outcome = driver.hammer_bit(&mut ctrl, victim_row, bit_in_row)?;
+        let report = builder.build()?.run()?;
+        if defended {
+            println!("  defense actions: {}", report.mitigation_total());
+        }
         println!(
             "  hammer campaign: flipped={} requests={} denied={}",
-            outcome.flipped, outcome.requests, outcome.denied
+            report.landed_flips > 0,
+            report.requests,
+            report.denied
         );
-
         // The victim reloads weights from DRAM and measures accuracy.
-        let mut model = victim.model.clone();
-        layout.load(&mut model, ctrl.dram())?;
-        Ok((model.accuracy(&x, &y)? * 100.0, outcome.denied))
+        let accuracy = report.victims[0].accuracy_after_pct.expect("model victim");
+        Ok((accuracy, report.denied))
     };
 
     println!("\nwithout DRAM-Locker:");

@@ -8,18 +8,35 @@
 //! - [`dnn`] — quantized DNN substrate (training, inference, DRAM layout);
 //! - [`attacks`] — BFA, random-flip and page-table attacks;
 //! - [`defenses`] — SHADOW and other baseline RowHammer defenses;
+//! - [`sim`] — the unified Scenario API: builder-driven pipelines
+//!   composing victims, attacks and defenses into one run;
 //! - [`xlayer`] — cross-layer evaluation framework and paper experiments.
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use dram_locker::locker::{DramLocker, LockerConfig};
-//! use dram_locker::memctrl::{MemoryController, MemCtrlConfig};
+//! Every experiment is one `Scenario`: pick a victim, an attack and a
+//! defense, and run.
 //!
-//! let controller = MemoryController::new(MemCtrlConfig::tiny_for_tests());
-//! let locker = DramLocker::new(LockerConfig::default(), controller.geometry());
-//! assert_eq!(locker.lock_table().len(), 0);
 //! ```
+//! use dram_locker::sim::{Budget, HammerAttack, LockerMitigation, Scenario, VictimSpec};
+//!
+//! # fn main() -> Result<(), dram_locker::sim::SimError> {
+//! let mut run = Scenario::builder()
+//!     .label("quickstart")
+//!     .victim(VictimSpec::row(20, 0xA5))
+//!     .attack(HammerAttack::bit(7))
+//!     .defense(LockerMitigation::adjacent())
+//!     .budget(Budget { max_activations: 1_000, check_interval: 8, iterations: 1 })
+//!     .build()?;
+//! let report = run.run()?;
+//! assert!(report.fully_denied(), "every hammer access was denied");
+//! assert_eq!(report.victims[0].data_intact, Some(true));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The named attack × defense scenarios of the paper's evaluation are
+//! enumerable via [`sim::catalog()`].
 
 pub use dlk_attacks as attacks;
 pub use dlk_defenses as defenses;
@@ -27,4 +44,5 @@ pub use dlk_dnn as dnn;
 pub use dlk_dram as dram;
 pub use dlk_locker as locker;
 pub use dlk_memctrl as memctrl;
+pub use dlk_sim as sim;
 pub use dlk_xlayer as xlayer;

@@ -1,144 +1,102 @@
-//! Every defense in the workspace against the same hammer campaign.
+//! Every defense in the workspace against the same hammer campaign,
+//! assembled through the unified Scenario API.
 //!
 //! The campaign targets row 20 with the tiny test configuration
 //! (TRH = 16). Expectations:
 //!
-//! - no defense: the victim bit flips;
+//! - no defense: the victim bit flips and the data pattern corrupts;
 //! - counter-based trackers (Graphene, Hydra, TWiCE, counter-per-row):
 //!   the aggressor is refreshed before reaching TRH, no flip;
 //! - swap-based defenses (RRS, SRS, SHADOW): the aggressor's physical
-//!   row is relocated before reaching TRH, no flip at the victim;
+//!   row is relocated before reaching TRH; the victim's *logical* data
+//!   survives (the report's integrity probe follows the remap);
 //! - DRAM-Locker: aggressor accesses are denied outright.
 
-use dram_locker::attacks::hammer::{HammerConfig, HammerDriver, HammerOutcome};
-use dram_locker::defenses::{
-    CounterDefenseHook, CounterPerRow, Graphene, Hydra, RowSwapDefense, Shadow, SwapPolicy, Twice,
+use dram_locker::defenses::{CounterPerRow, Graphene, Hydra, SwapPolicy, Twice};
+use dram_locker::sim::{
+    Budget, HammerAttack, LockerMitigation, Mitigation, RowSwapMitigation, RunReport, Scenario,
+    ShadowMitigation, TrackerMitigation, VictimSpec,
 };
-use dram_locker::dram::RowAddr;
-use dram_locker::locker::{DramLocker, LockerConfig};
-use dram_locker::memctrl::{DefenseHook, MemCtrlConfig, MemoryController};
 
-fn campaign(hook: Option<Box<dyn DefenseHook>>) -> HammerOutcome {
-    let config = MemCtrlConfig::tiny_for_tests();
-    let mut ctrl = match hook {
-        Some(hook) => MemoryController::with_hook(config, hook),
-        None => MemoryController::new(config),
-    };
-    let driver = HammerDriver::new(HammerConfig { max_activations: 4_000, check_interval: 8 });
-    driver.hammer_bit(&mut ctrl, RowAddr::new(0, 0, 20), 77).expect("campaign runs")
+fn campaign(defense: Option<Box<dyn Mitigation>>) -> RunReport {
+    let mut builder = Scenario::builder()
+        .label("defense-matrix")
+        .victim(VictimSpec::row(20, 0xA5))
+        .attack(HammerAttack::bit(77))
+        .budget(Budget { max_activations: 4_000, check_interval: 8, iterations: 1 });
+    if let Some(defense) = defense {
+        builder = builder.defense(defense);
+    }
+    builder.build().expect("scenario builds").run().expect("campaign runs")
 }
 
 #[test]
 fn no_defense_fails() {
-    let outcome = campaign(None);
-    assert!(outcome.flipped, "{outcome:?}");
+    let report = campaign(None);
+    assert_eq!(report.landed_flips, 1, "{report:?}");
+    assert_eq!(report.victims[0].data_intact, Some(false), "pattern must corrupt");
 }
 
 #[test]
 fn graphene_prevents_the_flip() {
     // Mitigation threshold below TRH=16.
-    let hook = CounterDefenseHook::new(Graphene::new(64, 8));
-    let outcome = campaign(Some(Box::new(hook)));
-    assert!(!outcome.flipped, "{outcome:?}");
+    let report = campaign(Some(Box::new(TrackerMitigation::new(Graphene::new(64, 8)))));
+    assert_eq!(report.landed_flips, 0, "{report:?}");
+    assert!(report.mitigation_total() > 0, "graphene must have refreshed: {report:?}");
 }
 
 #[test]
 fn hydra_prevents_the_flip() {
-    let hook = CounterDefenseHook::new(Hydra::new(16, 4, 8));
-    let outcome = campaign(Some(Box::new(hook)));
-    assert!(!outcome.flipped, "{outcome:?}");
+    let report = campaign(Some(Box::new(TrackerMitigation::new(Hydra::new(16, 4, 8)))));
+    assert_eq!(report.landed_flips, 0, "{report:?}");
 }
 
 #[test]
 fn twice_prevents_the_flip() {
-    let hook = CounterDefenseHook::new(Twice::new(8, 64, 1));
-    let outcome = campaign(Some(Box::new(hook)));
-    assert!(!outcome.flipped, "{outcome:?}");
+    let report = campaign(Some(Box::new(TrackerMitigation::new(Twice::new(8, 64, 1)))));
+    assert_eq!(report.landed_flips, 0, "{report:?}");
 }
 
 #[test]
 fn counter_per_row_prevents_the_flip() {
-    let hook = CounterDefenseHook::new(CounterPerRow::new(8));
-    let outcome = campaign(Some(Box::new(hook)));
-    assert!(!outcome.flipped, "{outcome:?}");
-}
-
-/// Swap-based defenses relocate data, so the oracle is *logical*
-/// integrity: seed the victim row with a pattern, attack, then read it
-/// back through the controller (which follows the defense's remap).
-fn campaign_preserves_victim_data(hook: Box<dyn DefenseHook>) -> bool {
-    let config = MemCtrlConfig::tiny_for_tests();
-    let row_bytes = config.dram.geometry.row_bytes as u64;
-    let mut ctrl = MemoryController::with_hook(config, hook);
-    let victim = RowAddr::new(0, 0, 20);
-    let pattern = vec![0xA5u8; row_bytes as usize];
-    ctrl.dram_mut().write_row(victim, &pattern).expect("seed");
-    let driver = HammerDriver::new(HammerConfig { max_activations: 4_000, check_interval: 8 });
-    driver.hammer_bit(&mut ctrl, victim, 77).expect("campaign runs");
-    // The victim (trusted) reads its logical row; the hook redirects to
-    // wherever the data lives now.
-    let done = ctrl
-        .service(dram_locker::memctrl::MemRequest::read(20 * row_bytes, row_bytes as usize))
-        .expect("victim read");
-    done.data.as_deref() == Some(pattern.as_slice())
-}
-
-#[test]
-fn undefended_campaign_corrupts_victim_data() {
-    let config = MemCtrlConfig::tiny_for_tests();
-    let row_bytes = config.dram.geometry.row_bytes as u64;
-    let mut ctrl = MemoryController::new(config);
-    let victim = RowAddr::new(0, 0, 20);
-    let pattern = vec![0xA5u8; row_bytes as usize];
-    ctrl.dram_mut().write_row(victim, &pattern).expect("seed");
-    let driver = HammerDriver::new(HammerConfig { max_activations: 4_000, check_interval: 8 });
-    driver.hammer_bit(&mut ctrl, victim, 77).expect("campaign runs");
-    let done = ctrl
-        .service(dram_locker::memctrl::MemRequest::read(20 * row_bytes, row_bytes as usize))
-        .expect("victim read");
-    assert_ne!(done.data.as_deref(), Some(pattern.as_slice()));
+    let report = campaign(Some(Box::new(TrackerMitigation::new(CounterPerRow::new(8)))));
+    assert_eq!(report.landed_flips, 0, "{report:?}");
 }
 
 #[test]
 fn rrs_preserves_victim_data() {
-    assert!(campaign_preserves_victim_data(Box::new(RowSwapDefense::new(
-        SwapPolicy::Randomized,
-        8,
-        5,
-    ))));
+    let report = campaign(Some(Box::new(RowSwapMitigation::new(SwapPolicy::Randomized, 8, 5))));
+    assert_eq!(report.victims[0].data_intact, Some(true), "{report:?}");
 }
 
 #[test]
 fn srs_preserves_victim_data() {
-    assert!(campaign_preserves_victim_data(Box::new(RowSwapDefense::new(
-        SwapPolicy::Secure,
-        8,
-        5,
-    ))));
+    let report = campaign(Some(Box::new(RowSwapMitigation::new(SwapPolicy::Secure, 8, 5))));
+    assert_eq!(report.victims[0].data_intact, Some(true), "{report:?}");
 }
 
 #[test]
 fn shadow_preserves_victim_data() {
-    assert!(campaign_preserves_victim_data(Box::new(Shadow::new(8, 5))));
+    let report = campaign(Some(Box::new(ShadowMitigation::new(8, 5))));
+    assert_eq!(report.victims[0].data_intact, Some(true), "{report:?}");
 }
 
 #[test]
 fn dram_locker_denies_instead_of_refreshing() {
-    let geometry = MemCtrlConfig::tiny_for_tests().dram.geometry;
-    let mut locker = DramLocker::new(LockerConfig::default(), geometry);
-    // Lock the aggressor-candidate rows around the victim.
-    locker.lock_row(RowAddr::new(0, 0, 19)).expect("capacity");
-    locker.lock_row(RowAddr::new(0, 0, 21)).expect("capacity");
-    let outcome = campaign(Some(Box::new(locker)));
-    assert!(!outcome.flipped, "{outcome:?}");
-    assert!(outcome.fully_denied(), "DRAM-Locker denies rather than mitigates: {outcome:?}");
+    // The adjacent-row protection plan locks rows 19 and 21 around the
+    // guarded victim row — exactly the aggressor candidates.
+    let report = campaign(Some(Box::new(LockerMitigation::adjacent())));
+    assert_eq!(report.landed_flips, 0, "{report:?}");
+    assert!(report.fully_denied(), "DRAM-Locker denies rather than mitigates: {report:?}");
+    assert_eq!(report.victims[0].data_intact, Some(true));
 }
 
 #[test]
 fn counter_defenses_allow_but_mitigate() {
     // Counter-based defenses never deny; they serve and refresh.
-    let hook = CounterDefenseHook::new(Graphene::new(64, 8));
-    let outcome = campaign(Some(Box::new(hook)));
-    assert_eq!(outcome.denied, 0);
-    assert!(outcome.requests > 0);
+    let report = campaign(Some(Box::new(TrackerMitigation::new(Graphene::new(64, 8)))));
+    assert_eq!(report.denied, 0);
+    assert!(report.requests > 0);
+    assert_eq!(report.mitigations.len(), 1);
+    assert_eq!(report.mitigations[0].name, "graphene");
 }

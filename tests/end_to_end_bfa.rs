@@ -1,58 +1,38 @@
-//! End-to-end Bit-Flip Attack through the full stack: trained victim,
-//! quantized weights deployed to DRAM, white-box bit selection, a
-//! physical RowHammer campaign through the memory controller, and the
-//! victim reloading weights from DRAM — with and without DRAM-Locker.
+//! End-to-end Bit-Flip Attack through the full stack, composed by the
+//! unified Scenario API: trained victim, quantized weights deployed to
+//! DRAM, white-box bit selection, a physical RowHammer campaign through
+//! the memory controller, and the victim reloading weights from DRAM —
+//! with and without DRAM-Locker.
 
-use dram_locker::attacks::hammer::{HammerConfig, HammerDriver};
 use dram_locker::dnn::models::{self, Victim};
-use dram_locker::dnn::{BitIndex, WeightLayout};
-use dram_locker::locker::{DramLocker, LockTarget, LockerConfig, ProtectionPlan};
-use dram_locker::memctrl::{MemCtrlConfig, MemoryController};
+use dram_locker::sim::{
+    BfaHammerAttack, Budget, LockerMitigation, Scenario, ScenarioRun, VictimSpec,
+};
 
 const WEIGHT_BASE: u64 = 0x400;
 
-struct Bench {
-    ctrl: MemoryController,
-    layout: WeightLayout,
-}
-
-fn setup(victim: &Victim, defended: bool) -> Bench {
-    let config = MemCtrlConfig::tiny_for_tests();
-    let mut ctrl = MemoryController::new(config);
-    let layout = WeightLayout::new(WEIGHT_BASE, *ctrl.mapper());
-    layout.deploy(&victim.model, ctrl.dram_mut()).expect("image fits");
-    let (start, end) = layout.phys_range(&victim.model);
-    ctrl.os_protect_range(start, end);
+fn setup(victim: &Victim, defended: bool) -> ScenarioRun {
+    let mut builder = Scenario::builder()
+        .victim(VictimSpec::model(victim.clone(), WEIGHT_BASE))
+        .attack(BfaHammerAttack { batch: 48 })
+        .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 1 })
+        .eval_batch(32);
     if defended {
-        let mut locker = DramLocker::new(LockerConfig::default(), ctrl.geometry());
-        let mut plan = ProtectionPlan::new(LockTarget::AdjacentRows);
-        plan.protect_range(ctrl.mapper(), start, end).expect("range maps");
-        plan.apply(&mut locker).expect("capacity");
-        ctrl.set_hook(Box::new(locker));
+        builder = builder.defense(LockerMitigation::adjacent());
     }
-    Bench { ctrl, layout }
-}
-
-/// An MSB target in the first row of the weight image — the row whose
-/// aggressor (one row below the image) the attacker actually owns.
-fn edge_target(victim: &Victim) -> BitIndex {
-    let (layer, weight) = victim.model.locate_byte(0).expect("image non-empty");
-    BitIndex { layer, weight, bit: 7 }
+    builder.build().expect("scenario builds")
 }
 
 #[test]
 fn undefended_hammer_lands_and_corrupts_the_model() {
     let victim = models::victim_tiny(31);
-    let mut bench = setup(&victim, false);
-    let target = edge_target(&victim);
-    let (row, bit) = bench.layout.bit_location(&victim.model, target).expect("maps");
-    let driver = HammerDriver::new(HammerConfig { max_activations: 20_000, check_interval: 8 });
-    let outcome = driver.hammer_bit(&mut bench.ctrl, row, bit).expect("campaign runs");
-    assert!(outcome.flipped, "{outcome:?}");
-    assert_eq!(outcome.denied, 0);
+    let mut run = setup(&victim, false);
+    let report = run.run().expect("campaign runs");
+    assert_eq!(report.landed_flips, 1, "{report:?}");
+    assert_eq!(report.denied, 0);
 
-    let mut reloaded = victim.model.clone();
-    bench.layout.load(&mut reloaded, bench.ctrl.dram()).expect("load");
+    let target = report.flipped_bits[0];
+    let reloaded = run.reload_model(0).expect("load").expect("model victim");
     assert_ne!(reloaded, victim.model, "weight image must be corrupted");
     assert_eq!(
         reloaded.bit(target).expect("in range"),
@@ -64,27 +44,26 @@ fn undefended_hammer_lands_and_corrupts_the_model() {
 #[test]
 fn dram_locker_denies_the_same_campaign() {
     let victim = models::victim_tiny(31);
-    let mut bench = setup(&victim, true);
-    let target = edge_target(&victim);
-    let (row, bit) = bench.layout.bit_location(&victim.model, target).expect("maps");
-    let driver = HammerDriver::new(HammerConfig { max_activations: 20_000, check_interval: 8 });
-    let outcome = driver.hammer_bit(&mut bench.ctrl, row, bit).expect("campaign runs");
-    assert!(!outcome.flipped, "{outcome:?}");
-    assert!(outcome.fully_denied(), "{outcome:?}");
+    let mut run = setup(&victim, true);
+    let report = run.run().expect("campaign runs");
+    assert_eq!(report.landed_flips, 0, "{report:?}");
+    assert!(report.fully_denied(), "{report:?}");
 
-    let mut reloaded = victim.model.clone();
-    bench.layout.load(&mut reloaded, bench.ctrl.dram()).expect("load");
+    let reloaded = run.reload_model(0).expect("load").expect("model victim");
     assert_eq!(reloaded, victim.model, "weights must be untouched");
 }
 
 #[test]
 fn victim_traffic_still_flows_under_protection() {
     // The defense must not break the victim's own reads: weights load
-    // correctly while the lock table is armed.
+    // correctly while the lock table is armed (no attack phase here).
     let victim = models::victim_tiny(32);
-    let bench = setup(&victim, true);
-    let mut reloaded = victim.model.clone();
-    bench.layout.load(&mut reloaded, bench.ctrl.dram()).expect("load");
+    let mut run = Scenario::builder()
+        .victim(VictimSpec::model(victim.clone(), WEIGHT_BASE))
+        .defense(LockerMitigation::adjacent())
+        .build()
+        .expect("scenario builds");
+    let reloaded = run.reload_model(0).expect("load").expect("model victim");
     assert_eq!(reloaded, victim.model);
     let (x, y) = victim.dataset.test_sample(32, 0);
     let accuracy = reloaded.accuracy(&x, &y).expect("shapes");
@@ -96,12 +75,9 @@ fn attack_cost_scales_with_trh() {
     // The attacker pays at least TRH activations per flip — the knob
     // behind every defense-time argument in the paper.
     let victim = models::victim_tiny(33);
-    let mut bench = setup(&victim, false);
-    let target = edge_target(&victim);
-    let (row, bit) = bench.layout.bit_location(&victim.model, target).expect("maps");
-    let trh = bench.ctrl.dram().config().hammer.trh;
-    let driver = HammerDriver::new(HammerConfig { max_activations: 20_000, check_interval: 4 });
-    let outcome = driver.hammer_bit(&mut bench.ctrl, row, bit).expect("campaign runs");
-    assert!(outcome.flipped);
-    assert!(outcome.requests >= trh, "needed {} of >= {trh}", outcome.requests);
+    let mut run = setup(&victim, false);
+    let trh = run.controller().dram().config().hammer.trh;
+    let report = run.run().expect("campaign runs");
+    assert_eq!(report.landed_flips, 1);
+    assert!(report.requests >= trh, "needed {} of >= {trh}", report.requests);
 }
