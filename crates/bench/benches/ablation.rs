@@ -34,13 +34,13 @@ impl Attack for VictimMix {
     }
 
     fn execute(&mut self, env: &mut RunEnv<'_>) -> Result<AttackOutcome, SimError> {
-        let row_bytes = env.ctrl.geometry().row_bytes as u64;
+        let row_bytes = env.ctrl().geometry().row_bytes as u64;
         let mut outcome = AttackOutcome::default();
         // 2000 accesses: mostly data rows 10/11, every 10th hits the
         // locked neighbour row 9.
         for index in 0..self.accesses {
             let row = if index % 10 == 0 { 9 } else { 10 + index % 2 };
-            let done = env.ctrl.service(MemRequest::read(row * row_bytes, 1))?;
+            let done = env.ctrl().service(MemRequest::read(row * row_bytes, 1))?;
             outcome.requests += 1;
             if done.denied {
                 outcome.denied += 1;

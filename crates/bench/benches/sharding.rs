@@ -1,0 +1,89 @@
+//! Multi-channel scaling of the sharded execution engine: the same
+//! global trace replayed over 1, 2 and 4 channel shards stepped on
+//! scoped threads. Row-interleaved routing splits the work `1/n` per
+//! shard, so wall-clock time should drop as channels are added.
+//!
+//! The artifact prints measured wall-clock times and speedups once,
+//! outside the measured closures; the criterion group then measures
+//! each configuration's replay kernel.
+
+use std::sync::Once;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dlk_bench::print_once;
+use dlk_engine::{EngineConfig, ShardedEngine, TraceReplay, Workload};
+use dlk_memctrl::{MemCtrlConfig, Trace};
+
+static ARTIFACT: Once = Once::new();
+
+/// A mixed workload confined to the single-channel capacity (16 KiB
+/// tiny geometry, 256 rows), so the identical global trace is valid on
+/// every engine width: three pointer chasers and a streaming pass.
+fn global_trace() -> Trace {
+    const ROW_BYTES: u64 = 64;
+    const SPAN: u64 = 256 * ROW_BYTES;
+    Workload::multi_tenant(&[
+        Workload::PointerChase { base: 0, span: SPAN, len: 8, count: 12_000, seed: 9 },
+        Workload::PointerChase { base: 0, span: SPAN, len: 8, count: 12_000, seed: 10 },
+        Workload::PointerChase { base: 0, span: SPAN, len: 8, count: 12_000, seed: 11 },
+        Workload::Sequential { base: 0, len: 8, count: 2_000 },
+    ])
+}
+
+/// Replays the trace on a fresh `channels`-wide engine; returns the
+/// simulated device cycles (max over channels — the hardware metric).
+fn replay_once(channels: usize, trace: &Trace) -> u64 {
+    let mut engine =
+        ShardedEngine::new(EngineConfig::sharded(channels), MemCtrlConfig::tiny_for_tests())
+            .expect("engine builds");
+    engine.replay(TraceReplay::new(trace)).expect("replay runs");
+    engine.snapshot().cycles
+}
+
+fn bench_sharding(c: &mut Criterion) {
+    let trace = global_trace();
+
+    print_once(&ARTIFACT, || {
+        let mut out = String::from("== Sharded engine scaling (trace replay) ==\n");
+        out.push_str(&format!(
+            "trace: {} ops over the shared global address space ({} host cores)\n",
+            trace.len(),
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        ));
+        let mut wall_base = None;
+        let mut cycle_base = None;
+        for channels in [1usize, 2, 4] {
+            // Warm once, then time a few replays.
+            let cycles = replay_once(channels, &trace);
+            let start = Instant::now();
+            let rounds = 5;
+            for _ in 0..rounds {
+                replay_once(channels, &trace);
+            }
+            let per_run = start.elapsed() / rounds;
+            let wall = *wall_base.get_or_insert(per_run);
+            let cycle = *cycle_base.get_or_insert(cycles);
+            out.push_str(&format!(
+                "  {channels} channel(s): {per_run:>10.2?} per replay (speedup {:.2}x), \
+                 {cycles:>9} device cycles (speedup {:.2}x)\n",
+                wall.as_secs_f64() / per_run.as_secs_f64(),
+                cycle as f64 / cycles as f64
+            ));
+        }
+        out
+    });
+
+    let mut group = c.benchmark_group("sharding");
+    group.sample_size(10);
+    for channels in [1usize, 2, 4] {
+        group.bench_function(format!("replay_{channels}ch"), |b| {
+            b.iter(|| replay_once(channels, &trace))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharding);
+criterion_main!(benches);

@@ -13,7 +13,11 @@ use dlk_dram::{DramDevice, RowAddr, RowId};
 use dlk_memctrl::{DefenseHook, HookAction, MemRequest};
 
 /// A row-activation tracker with a mitigation threshold.
-pub trait RowTracker {
+///
+/// Trackers must be `Send`: a mounted [`CounterDefenseHook`] lives
+/// inside its channel's controller, and the sharded execution engine
+/// steps channels on scoped threads.
+pub trait RowTracker: Send {
     /// Observes one activation of `row`; returns `true` if the tracker
     /// demands mitigation of this row's neighbourhood now.
     fn on_activate(&mut self, row: RowId) -> bool;

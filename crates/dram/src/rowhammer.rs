@@ -71,15 +71,26 @@ pub struct DisturbanceEvent {
 }
 
 /// Per-row activation tracking and disturbance generation.
+///
+/// The hot-path state (`counts`, `victim_flips`) is kept in dense
+/// arrays indexed by the device-global [`RowId`] — `RowId` is
+/// bank-major, so each array is the concatenation of per-bank row
+/// arrays. The arrays are sized lazily from the geometry on the first
+/// activation, which keeps the constructor geometry-free. Only the
+/// attacker flip *plans* stay in a map: they are sparse by nature (a
+/// handful of targeted victim rows).
 #[derive(Debug, Clone)]
 pub struct HammerTracker {
     config: RowHammerConfig,
-    counts: HashMap<RowId, u64>,
+    /// Activations per row in the current refresh window, dense over
+    /// `RowId`.
+    counts: Vec<u64>,
     /// Attacker-chosen flip plans per victim row: bit positions consumed
     /// in order, then cycled.
     plans: HashMap<RowId, Vec<usize>>,
-    /// How many flips each victim has absorbed (indexes into the plan).
-    victim_flips: HashMap<RowId, u64>,
+    /// How many flips each victim has absorbed (indexes into the plan),
+    /// dense over `RowId`.
+    victim_flips: Vec<u64>,
     total_events: u64,
 }
 
@@ -96,9 +107,9 @@ impl HammerTracker {
         assert!(config.trh > 0, "RowHammerConfig::trh must be nonzero");
         Self {
             config,
-            counts: HashMap::new(),
+            counts: Vec::new(),
             plans: HashMap::new(),
-            victim_flips: HashMap::new(),
+            victim_flips: Vec::new(),
             total_events: 0,
         }
     }
@@ -110,7 +121,7 @@ impl HammerTracker {
 
     /// Activation count of a row in the current window.
     pub fn count(&self, id: RowId) -> u64 {
-        self.counts.get(&id).copied().unwrap_or(0)
+        self.counts.get(id.0 as usize).copied().unwrap_or(0)
     }
 
     /// Total disturbance events since construction (not reset by
@@ -129,11 +140,23 @@ impl HammerTracker {
         }
     }
 
+    /// Grows the dense arrays to cover `geometry` (first use, idempotent
+    /// afterwards). New rows start at zero, matching the old map's
+    /// absent-key semantics.
+    fn ensure_capacity(&mut self, geometry: &DramGeometry) {
+        let rows = geometry.total_rows() as usize;
+        if self.counts.len() < rows {
+            self.counts.resize(rows, 0);
+            self.victim_flips.resize(rows, 0);
+        }
+    }
+
     /// Records one activation of `row` and returns any disturbance
     /// events it triggers on neighbouring victims.
     pub fn on_activate(&mut self, row: RowAddr, geometry: &DramGeometry) -> Vec<DisturbanceEvent> {
+        self.ensure_capacity(geometry);
         let id = geometry.row_id(row);
-        let count = self.counts.entry(id).or_insert(0);
+        let count = &mut self.counts[id.0 as usize];
         *count += 1;
         if !(*count).is_multiple_of(self.config.trh) {
             return Vec::new();
@@ -164,8 +187,9 @@ impl HammerTracker {
     /// Picks the bit to flip in `victim`: the attacker's plan if one is
     /// registered, otherwise a deterministic pseudo-random bit.
     fn next_flip_bit(&mut self, victim: RowAddr, geometry: &DramGeometry) -> usize {
+        self.ensure_capacity(geometry);
         let vid = geometry.row_id(victim);
-        let ordinal = self.victim_flips.entry(vid).or_insert(0);
+        let ordinal = &mut self.victim_flips[vid.0 as usize];
         let n = *ordinal;
         *ordinal += 1;
         if let Some(plan) = self.plans.get(&vid) {
@@ -183,19 +207,21 @@ impl HammerTracker {
 
     /// Number of flips a victim row has absorbed so far.
     pub fn victim_flip_count(&self, victim: RowId) -> u64 {
-        self.victim_flips.get(&victim).copied().unwrap_or(0)
+        self.victim_flips.get(victim.0 as usize).copied().unwrap_or(0)
     }
 
     /// Resets all activation counters (a refresh window elapsed).
     /// Flip plans and victim ordinals survive — refresh restores charge,
     /// not the attacker's targeting information.
     pub fn reset_window(&mut self) {
-        self.counts.clear();
+        self.counts.fill(0);
     }
 
     /// Resets the counter of a single row (targeted refresh / TRR).
     pub fn reset_row(&mut self, id: RowId) {
-        self.counts.remove(&id);
+        if let Some(count) = self.counts.get_mut(id.0 as usize) {
+            *count = 0;
+        }
     }
 }
 

@@ -1,0 +1,60 @@
+//! Engine configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How many channel shards an engine runs and whether it steps them on
+/// threads.
+///
+/// The execution model guarantees that `parallel` never changes
+/// results: shards share no state, and every merge (stats, completions,
+/// reports) is performed in channel-id order. `parallel: true` only
+/// changes wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Number of DRAM channels, each backed by its own shard
+    /// (controller + device + mounted defense chain).
+    pub channels: usize,
+    /// Step shards on scoped threads (`true`) or one after another in
+    /// channel order (`false`).
+    pub parallel: bool,
+}
+
+impl EngineConfig {
+    /// The classic single-controller pipeline: one channel, no threads.
+    pub fn serial() -> Self {
+        Self { channels: 1, parallel: false }
+    }
+
+    /// `channels` shards stepped in parallel on scoped threads.
+    pub fn sharded(channels: usize) -> Self {
+        Self { channels, parallel: true }
+    }
+
+    /// `channels` shards stepped serially in channel order — the
+    /// bit-identical reference for a [`sharded`](EngineConfig::sharded)
+    /// run of the same width.
+    pub fn serial_reference(channels: usize) -> Self {
+        Self { channels, parallel: false }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_parallelism() {
+        assert_eq!(EngineConfig::default(), EngineConfig { channels: 1, parallel: false });
+        assert_eq!(EngineConfig::sharded(4), EngineConfig { channels: 4, parallel: true });
+        assert_eq!(
+            EngineConfig::serial_reference(4),
+            EngineConfig { channels: 4, parallel: false }
+        );
+    }
+}

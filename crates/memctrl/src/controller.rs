@@ -82,7 +82,9 @@ pub struct ControllerStats {
 }
 
 impl ControllerStats {
-    /// Mean latency per completed request in cycles.
+    /// Mean latency per completed request in cycles. Returns `0.0`
+    /// (never `NaN`) when no request completed — e.g. an empty-trace
+    /// replay.
     pub fn mean_latency(&self) -> f64 {
         let total = self.served + self.denied;
         if total == 0 {
@@ -90,6 +92,31 @@ impl ControllerStats {
         } else {
             self.total_latency as f64 / total as f64
         }
+    }
+
+    /// Fraction of requests the defense denied, in `[0, 1]`. Returns
+    /// `0.0` (never `NaN`) when no request completed.
+    pub fn denial_rate(&self) -> f64 {
+        let total = self.served + self.denied;
+        if total == 0 {
+            0.0
+        } else {
+            self.denied as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another channel's statistics into this one — the
+    /// shard-merge primitive of the sharded execution engine. Field
+    /// order is fixed, so merging shard stats in channel order is
+    /// deterministic.
+    pub fn merge(&mut self, other: &ControllerStats) {
+        self.served += other.served;
+        self.denied += other.denied;
+        self.redirected += other.redirected;
+        self.os_faults += other.os_faults;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.total_latency += other.total_latency;
     }
 }
 
@@ -396,7 +423,7 @@ mod tests {
         assert_eq!(ctrl.stats().redirected, 1);
     }
 
-    struct CountActs(std::rc::Rc<std::cell::Cell<u64>>);
+    struct CountActs(std::sync::Arc<std::sync::atomic::AtomicU64>);
     impl DefenseHook for CountActs {
         fn before_access(
             &mut self,
@@ -407,7 +434,7 @@ mod tests {
             HookAction::Allow
         }
         fn on_activate(&mut self, _row: RowAddr, _dram: &mut DramDevice) {
-            self.0.set(self.0.get() + 1);
+            self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
         fn name(&self) -> &str {
             "count"
@@ -416,7 +443,7 @@ mod tests {
 
     #[test]
     fn hook_observes_activations_not_row_hits() {
-        let acts = std::rc::Rc::new(std::cell::Cell::new(0));
+        let acts = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         let mut ctrl = MemoryController::with_hook(
             MemCtrlConfig::tiny_for_tests(),
             Box::new(CountActs(acts.clone())),
@@ -425,12 +452,48 @@ mod tests {
         ctrl.submit(MemRequest::read(0, 1));
         ctrl.submit(MemRequest::read(8, 1));
         ctrl.run_to_completion().unwrap();
-        assert_eq!(acts.get(), 1);
+        assert_eq!(acts.load(std::sync::atomic::Ordering::Relaxed), 1);
     }
 
     #[test]
     fn debug_impl_mentions_hook_name() {
         let ctrl = MemoryController::new(MemCtrlConfig::tiny_for_tests());
         assert!(format!("{ctrl:?}").contains("none"));
+    }
+
+    #[test]
+    fn idle_stats_report_zero_not_nan() {
+        let stats = ControllerStats::default();
+        assert_eq!(stats.mean_latency(), 0.0);
+        assert_eq!(stats.denial_rate(), 0.0);
+        assert!(!stats.mean_latency().is_nan());
+    }
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let a = ControllerStats {
+            served: 1,
+            denied: 2,
+            redirected: 3,
+            os_faults: 4,
+            reads: 5,
+            writes: 6,
+            total_latency: 7,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(
+            b,
+            ControllerStats {
+                served: 2,
+                denied: 4,
+                redirected: 6,
+                os_faults: 8,
+                reads: 10,
+                writes: 12,
+                total_latency: 14,
+            }
+        );
+        assert!((b.denial_rate() - 4.0 / 6.0).abs() < 1e-12);
     }
 }

@@ -29,6 +29,13 @@ pub enum MemCtrlError {
         /// The request length in bytes.
         len: usize,
     },
+    /// A trace file could not be parsed.
+    TraceParse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MemCtrlError {
@@ -43,6 +50,9 @@ impl fmt::Display for MemCtrlError {
             }
             MemCtrlError::SpansRowBoundary { addr, len } => {
                 write!(f, "request at {addr:#x} of {len} bytes spans a row boundary")
+            }
+            MemCtrlError::TraceParse { line, reason } => {
+                write!(f, "trace parse error at line {line}: {reason}")
             }
         }
     }

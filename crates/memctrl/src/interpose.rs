@@ -29,7 +29,11 @@ pub enum HookAction {
 /// Implementations receive mutable access to the DRAM device so they
 /// can issue mitigation commands (swaps, targeted refreshes) inline,
 /// exactly where a hardware defense would act.
-pub trait DefenseHook {
+///
+/// Hooks must be `Send`: the sharded execution engine mounts one hook
+/// chain per DRAM channel and steps the channels on scoped threads, so
+/// a mounted hook (inside its controller) crosses thread boundaries.
+pub trait DefenseHook: Send {
     /// Inspects a request before it is served. Called once per request
     /// with its mapped DRAM row.
     fn before_access(

@@ -134,6 +134,150 @@ impl Trace {
         }
         Ok(done)
     }
+
+    /// The requests this trace issues, in order, with the trace's trust
+    /// level applied — the routing-friendly form consumed by the
+    /// sharded execution engine.
+    pub fn requests(&self) -> impl Iterator<Item = MemRequest> + '_ {
+        self.ops.iter().map(|op| op.to_request(self.untrusted))
+    }
+
+    /// Serializes the trace to the workspace's line-based trace-file
+    /// format (the vendored `serde` stub is marker-only, so this codec
+    /// *is* the on-disk representation recorded traces replay from):
+    ///
+    /// ```text
+    /// # dlk-trace v1 untrusted=1
+    /// R 0x1000 4
+    /// W 0x2040 0a0bff
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = format!("# dlk-trace v1 untrusted={}\n", u8::from(self.untrusted));
+        for op in &self.ops {
+            match op {
+                TraceOp::Read { addr, len } => {
+                    out.push_str(&format!("R {addr:#x} {len}\n"));
+                }
+                TraceOp::Write { addr, payload } => {
+                    out.push_str(&format!("W {addr:#x} "));
+                    if payload.is_empty() {
+                        // Explicit marker so the record keeps three
+                        // fields and round-trips.
+                        out.push('-');
+                    }
+                    for byte in payload {
+                        out.push_str(&format!("{byte:02x}"));
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a trace from the format produced by [`Trace::to_text`].
+    /// Blank lines and `#` comments are skipped (the header comment is
+    /// recognized for the `untrusted` flag).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemCtrlError::TraceParse`] with the offending line.
+    pub fn from_text(text: &str) -> Result<Self, MemCtrlError> {
+        let parse_error = |line: usize, reason: &str| MemCtrlError::TraceParse {
+            line,
+            reason: reason.to_owned(),
+        };
+        let mut trace = Trace::new();
+        for (index, raw) in text.lines().enumerate() {
+            let line = index + 1;
+            let record = raw.trim();
+            if record.is_empty() {
+                continue;
+            }
+            if let Some(comment) = record.strip_prefix('#') {
+                // Only the codec's own header carries the trust flag;
+                // free-form comments are never interpreted.
+                let mut header = comment.split_whitespace();
+                if header.next() == Some("dlk-trace") && header.any(|field| field == "untrusted=1")
+                {
+                    trace.untrusted = true;
+                }
+                continue;
+            }
+            let mut fields = record.split_whitespace();
+            let kind = fields.next().expect("non-empty record has a first field");
+            let addr_field =
+                fields.next().ok_or_else(|| parse_error(line, "missing address field"))?;
+            let addr = parse_u64(addr_field)
+                .ok_or_else(|| parse_error(line, "address is not a number"))?;
+            match kind {
+                "R" => {
+                    let len_field =
+                        fields.next().ok_or_else(|| parse_error(line, "missing read length"))?;
+                    let len = len_field
+                        .parse::<usize>()
+                        .map_err(|_| parse_error(line, "read length is not a number"))?;
+                    trace.push(TraceOp::Read { addr, len });
+                }
+                "W" => {
+                    let hex =
+                        fields.next().ok_or_else(|| parse_error(line, "missing write payload"))?;
+                    let payload = parse_hex(hex)
+                        .ok_or_else(|| parse_error(line, "payload is not even-length hex"))?;
+                    trace.push(TraceOp::Write { addr, payload });
+                }
+                other => {
+                    return Err(parse_error(line, &format!("unknown record kind '{other}'")));
+                }
+            }
+            if fields.next().is_some() {
+                return Err(parse_error(line, "trailing fields"));
+            }
+        }
+        Ok(trace)
+    }
+
+    /// Round-robin interleave of several tenants' traces into one
+    /// stream, preserving each tenant's internal order — the
+    /// multi-tenant workload the sharded engine replays. The result is
+    /// untrusted iff any input is.
+    pub fn interleave(tenants: &[Trace]) -> Self {
+        let total = tenants.iter().map(Trace::len).sum();
+        let mut ops = Vec::with_capacity(total);
+        let mut cursor = 0;
+        while ops.len() < total {
+            for tenant in tenants {
+                if let Some(op) = tenant.ops.get(cursor) {
+                    ops.push(op.clone());
+                }
+            }
+            cursor += 1;
+        }
+        Self { ops, untrusted: tenants.iter().any(|t| t.untrusted) }
+    }
+}
+
+fn parse_u64(field: &str) -> Option<u64> {
+    match field.strip_prefix("0x").or_else(|| field.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => field.parse().ok(),
+    }
+}
+
+fn parse_hex(hex: &str) -> Option<Vec<u8>> {
+    if hex == "-" {
+        return Some(Vec::new());
+    }
+    // Work on bytes: fixed-offset `&str` slicing would panic on
+    // multi-byte UTF-8 in a corrupted trace file.
+    let digit = |byte: u8| (byte as char).to_digit(16).map(|d| d as u8);
+    hex.as_bytes()
+        .chunks(2)
+        .map(|pair| match *pair {
+            [hi, lo] => Some(digit(hi)? << 4 | digit(lo)?),
+            _ => None, // odd-length payload
+        })
+        .collect()
 }
 
 impl Extend<TraceOp> for Trace {
@@ -203,5 +347,82 @@ mod tests {
         let trace: Trace = (0..4).map(|i| TraceOp::Read { addr: i * 8, len: 1 }).collect();
         assert_eq!(trace.len(), 4);
         assert!(!trace.untrusted);
+    }
+
+    #[test]
+    fn text_codec_roundtrips() {
+        let mut trace = Trace::hammer_pair(0x100, 0x300, 2);
+        trace.push(TraceOp::Write { addr: 5, payload: vec![0x0A, 0xFF, 0x00] });
+        let text = trace.to_text();
+        assert!(text.starts_with("# dlk-trace v1 untrusted=1\n"));
+        assert!(text.contains("W 0x5 0aff00"));
+        assert_eq!(Trace::from_text(&text).unwrap(), trace);
+    }
+
+    #[test]
+    fn text_codec_accepts_decimal_and_comments() {
+        let parsed = Trace::from_text("# recorded on machine X\n\nR 256 4\nW 0x10 abcd\n").unwrap();
+        assert_eq!(
+            parsed.ops(),
+            &[
+                TraceOp::Read { addr: 256, len: 4 },
+                TraceOp::Write { addr: 0x10, payload: vec![0xAB, 0xCD] },
+            ]
+        );
+        assert!(!parsed.untrusted);
+    }
+
+    #[test]
+    fn text_codec_reports_the_offending_line() {
+        let err = Trace::from_text("R 0x0 1\nX 0x0 1\n").unwrap_err();
+        assert!(matches!(err, MemCtrlError::TraceParse { line: 2, .. }), "{err:?}");
+        let err = Trace::from_text("W 0x0 abc\n").unwrap_err();
+        assert!(matches!(err, MemCtrlError::TraceParse { line: 1, .. }), "{err:?}");
+        assert!(Trace::from_text("R 0x0 1 extra\n").is_err());
+    }
+
+    #[test]
+    fn empty_text_parses_to_empty_trace() {
+        let trace = Trace::from_text("").unwrap();
+        assert!(trace.is_empty());
+        assert_eq!(Trace::from_text(&trace.to_text()).unwrap(), trace);
+    }
+
+    #[test]
+    fn empty_write_payload_roundtrips() {
+        let mut trace = Trace::new();
+        trace.push(TraceOp::Write { addr: 0x40, payload: Vec::new() });
+        let text = trace.to_text();
+        assert!(text.contains("W 0x40 -"));
+        assert_eq!(Trace::from_text(&text).unwrap(), trace);
+    }
+
+    #[test]
+    fn multibyte_utf8_payload_is_an_error_not_a_panic() {
+        let err = Trace::from_text("W 0x0 \u{20AC}a\n").unwrap_err();
+        assert!(matches!(err, MemCtrlError::TraceParse { line: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn only_the_codec_header_sets_the_trust_flag() {
+        let text = "# note: untrusted=1 was NOT used for this capture\nR 0x0 1\n";
+        assert!(!Trace::from_text(text).unwrap().untrusted);
+        assert!(!Trace::from_text("# dlk-trace v1 untrusted=10\nR 0x0 1\n").unwrap().untrusted);
+        assert!(Trace::from_text("# dlk-trace v1 untrusted=1\nR 0x0 1\n").unwrap().untrusted);
+    }
+
+    #[test]
+    fn interleave_round_robins_tenants() {
+        let a = Trace::sequential_reads(0, 8, 1, 3);
+        let b = Trace::hammer_pair(100, 200, 1);
+        let mix = Trace::interleave(&[a.clone(), b.clone()]);
+        assert_eq!(mix.len(), a.len() + b.len());
+        assert!(mix.untrusted, "one untrusted tenant taints the mix");
+        assert_eq!(mix.ops()[0], a.ops()[0]);
+        assert_eq!(mix.ops()[1], b.ops()[0]);
+        assert_eq!(mix.ops()[2], a.ops()[1]);
+        // Tenant a's internal order is preserved.
+        let a_ops: Vec<_> = mix.ops().iter().filter(|op| a.ops().contains(op)).collect();
+        assert_eq!(a_ops.len(), a.len());
     }
 }

@@ -15,6 +15,7 @@ use dlk_attacks::hammer::{HammerConfig, HammerDriver};
 use dlk_attacks::pta::{PtaAttack, PtaConfig};
 use dlk_attacks::RandomAttack;
 use dlk_dnn::{models, BitIndex, QuantizedMlp, Tensor};
+use dlk_engine::{ShardedEngine, Trace, TraceReplay, Workload};
 use dlk_memctrl::{MemRequest, MemoryController};
 
 use crate::error::SimError;
@@ -24,10 +25,13 @@ use crate::victim::DeployedVictim;
 
 /// The attack's view of a running scenario.
 pub struct RunEnv<'a> {
-    /// The scenario's memory controller (defense already mounted).
-    pub ctrl: &'a mut MemoryController,
+    /// The scenario's sharded execution engine (defenses already
+    /// mounted on every channel shard).
+    pub engine: &'a mut ShardedEngine,
     /// Every deployed victim, in deployment order.
     pub victims: &'a [DeployedVictim],
+    /// Each victim's home channel, in deployment order.
+    pub homes: &'a [usize],
     /// Index of the victim under attack.
     pub target: usize,
     /// The scenario's activation/iteration budget.
@@ -40,6 +44,14 @@ impl RunEnv<'_> {
     /// The victim under attack.
     pub fn victim(&self) -> &DeployedVictim {
         &self.victims[self.target]
+    }
+
+    /// The target victim's home-channel controller — where classic
+    /// single-controller attack drivers run, addressed in that shard's
+    /// local address space. Engine-wide attacks (trace replay) use
+    /// [`RunEnv::engine`] directly with global addresses.
+    pub fn ctrl(&mut self) -> &mut MemoryController {
+        self.engine.shard_mut(self.homes[self.target]).controller_mut()
     }
 }
 
@@ -94,10 +106,10 @@ impl Attack for HammerAttack {
     fn execute(&mut self, env: &mut RunEnv<'_>) -> Result<AttackOutcome, SimError> {
         let victim = &env.victims[env.target];
         let row = victim
-            .primary_row(env.ctrl)
+            .primary_row(env.ctrl())
             .ok_or_else(|| SimError::Build("hammer attack needs a row-backed victim".to_owned()))?;
         let driver = HammerDriver::new(hammer_config(env.budget));
-        let outcome = driver.hammer_bit(env.ctrl, row, self.bit)?;
+        let outcome = driver.hammer_bit(env.ctrl(), row, self.bit)?;
         Ok(AttackOutcome {
             landed_flips: u64::from(outcome.flipped),
             requests: outcome.requests,
@@ -126,7 +138,7 @@ impl Attack for RowProbe {
         })?;
         let mut outcome = AttackOutcome::default();
         for _ in 0..self.accesses {
-            let done = env.ctrl.service(MemRequest::read(start, 1).untrusted())?;
+            let done = env.ctrl().service(MemRequest::read(start, 1).untrusted())?;
             outcome.requests += 1;
             if done.denied {
                 outcome.denied += 1;
@@ -175,7 +187,7 @@ impl Attack for BfaHammerAttack {
             .ok_or_else(|| SimError::Build("victim model is empty".to_owned()))?;
         let (row, bit) = layout.bit_location(&victim.model, target)?;
         let driver = HammerDriver::new(hammer_config(env.budget));
-        let outcome = driver.hammer_bit(env.ctrl, row, bit)?;
+        let outcome = driver.hammer_bit(env.ctrl(), row, bit)?;
         Ok(AttackOutcome {
             landed_flips: u64::from(outcome.flipped),
             requests: outcome.requests,
@@ -275,7 +287,7 @@ fn flip_campaign(
         .ok_or_else(|| SimError::Build(format!("{kind} needs a contiguously deployed model")))?;
     let (x, y) = victim.dataset.test_sample(env.eval_batch, 0);
     let mut model = handle
-        .model_from_dram(env.ctrl.dram())?
+        .model_from_dram(env.ctrl().dram())?
         .ok_or_else(|| SimError::Build("victim has no DRAM-resident model".to_owned()))?;
     let mut outcome = AttackOutcome::default();
     outcome.curve.push((0.0, model.accuracy(&x, &y)? * 100.0));
@@ -283,7 +295,7 @@ fn flip_campaign(
         if lands() {
             if let Some(flip) = select(&model, &x, &y) {
                 let (row, bit) = layout.bit_location(&model, flip)?;
-                env.ctrl.dram_mut().flip_bit(row, bit)?;
+                env.ctrl().dram_mut().flip_bit(row, bit)?;
                 model.flip_bit(flip)?;
                 outcome.landed_flips += 1;
                 outcome.target_bits.push(flip);
@@ -331,8 +343,8 @@ impl Attack for PageTablePoison {
         for byte in &mut payload {
             *byte ^= self.payload_xor;
         }
-        attack.stage_payload(env.ctrl, &table, 0, &payload)?;
-        let outcome = attack.execute(env.ctrl, &table, 0)?;
+        attack.stage_payload(env.ctrl(), &table, 0, &payload)?;
+        let outcome = attack.execute(env.ctrl(), &table, 0)?;
         Ok(AttackOutcome {
             landed_flips: u64::from(outcome.redirected),
             requests: outcome.hammer.requests,
@@ -374,7 +386,7 @@ impl Attack for InferenceStream {
             SimError::Build("inference stream needs a contiguously deployed model".to_owned())
         })?;
         let (start, end) = layout.phys_range(&victim.model);
-        let mapper = *env.ctrl.mapper();
+        let mapper = *env.ctrl().mapper();
         let row_bytes = mapper.geometry().row_bytes;
         // A zero chunk would never advance the stream.
         let chunk = self.chunk.max(1);
@@ -384,7 +396,7 @@ impl Attack for InferenceStream {
             while addr < end {
                 let (_, col) = mapper.to_dram(addr)?;
                 let take = chunk.min((end - addr) as usize).min(row_bytes - col);
-                let done = env.ctrl.service(MemRequest::read(addr, take))?;
+                let done = env.ctrl().service(MemRequest::read(addr, take))?;
                 outcome.requests += 1;
                 if done.denied {
                     outcome.denied += 1;
@@ -393,5 +405,50 @@ impl Attack for InferenceStream {
             }
         }
         Ok(outcome)
+    }
+}
+
+/// Trace-driven workload replay through the *whole* engine: requests
+/// carry global addresses, the router fans them out across every
+/// channel shard, and shards execute in parallel when the scenario's
+/// [`EngineConfig`](dlk_engine::EngineConfig) says so. This is the
+/// driver behind the replay and multi-tenant catalog scenarios.
+#[derive(Debug, Clone)]
+pub struct ReplayWorkload {
+    trace: Trace,
+    name: String,
+}
+
+impl ReplayWorkload {
+    /// Replays a recorded trace (e.g. parsed from a trace file with
+    /// [`Trace::from_text`]).
+    pub fn trace(trace: Trace) -> Self {
+        Self { trace, name: "trace-replay".to_owned() }
+    }
+
+    /// Replays a generated workload pattern.
+    pub fn workload(workload: &Workload) -> Self {
+        Self { trace: workload.trace(), name: "workload-replay".to_owned() }
+    }
+
+    /// Replays several tenants' workloads interleaved round-robin —
+    /// the multi-tenant mix.
+    pub fn tenants(tenants: &[Workload]) -> Self {
+        Self { trace: Workload::multi_tenant(tenants), name: "multi-tenant-replay".to_owned() }
+    }
+}
+
+impl Attack for ReplayWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute(&mut self, env: &mut RunEnv<'_>) -> Result<AttackOutcome, SimError> {
+        let outcome = env.engine.replay(TraceReplay::new(&self.trace))?;
+        Ok(AttackOutcome {
+            requests: outcome.len() as u64,
+            denied: outcome.denied(),
+            ..AttackOutcome::default()
+        })
     }
 }

@@ -8,10 +8,11 @@
 
 use dlk_defenses::{CounterPerRow, Graphene, Hydra, SwapPolicy, Twice};
 use dlk_dnn::models;
+use dlk_engine::{EngineConfig, Workload};
 
 use crate::attack::{
     BfaHammerAttack, HammerAttack, InferenceStream, PageTablePoison, ProgressiveBfa,
-    RandomFlipAttack,
+    RandomFlipAttack, ReplayWorkload,
 };
 use crate::mitigation::{LockerMitigation, RowSwapMitigation, ShadowMitigation, TrackerMitigation};
 use crate::scenario::{Budget, Scenario, ScenarioBuilder};
@@ -68,6 +69,30 @@ fn pta_base() -> ScenarioBuilder {
         .victim(VictimSpec::paged(models::victim_tiny(21)))
         .attack(PageTablePoison::default())
         .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 1 })
+}
+
+/// Multi-tenant replay over a 4-channel sharded engine: two row
+/// victims homed on channels 0 and 1, three benign tenants plus an
+/// attacker hammer loop aimed at channel 0's victim. Global rows
+/// stripe over 4 channels, so local rows 19/21 of channel 0 (the
+/// aggressor-candidate neighbours of victim row 20) are global rows
+/// 76/84.
+fn multitenant_4ch() -> ScenarioBuilder {
+    let row_bytes = 64u64; // tiny geometry
+    Scenario::builder()
+        .engine(EngineConfig::sharded(4))
+        .victim_on(VictimSpec::row(20, 0xA5), 0)
+        .victim_on(VictimSpec::row(20, 0x5A), 1)
+        .attack(ReplayWorkload::tenants(&[
+            Workload::Sequential { base: 0, len: 8, count: 400 },
+            Workload::Strided { base: 0, stride: 4 * row_bytes, len: 4, count: 200 },
+            Workload::PointerChase { base: 0, span: 512 * row_bytes, len: 8, count: 400, seed: 11 },
+            Workload::HammerLoop {
+                addr_a: 76 * row_bytes,
+                addr_b: 84 * row_bytes,
+                iterations: 200,
+            },
+        ]))
 }
 
 static CATALOG: &[CatalogEntry] = &[
@@ -210,6 +235,71 @@ static CATALOG: &[CatalogEntry] = &[
                 .attack(InferenceStream::default())
                 .defense(LockerMitigation::adjacent())
         },
+    },
+    CatalogEntry {
+        name: "replay-stream-2ch",
+        artifact: "scaling (ROADMAP)",
+        description: "Sequential trace replay fanned over a 2-channel sharded engine",
+        expected: Expected::Contained,
+        build: || {
+            Scenario::builder()
+                .engine(EngineConfig::sharded(2))
+                .victim(VictimSpec::row(20, 0xA5))
+                .attack(ReplayWorkload::workload(&Workload::Sequential {
+                    base: 0,
+                    len: 8,
+                    count: 2_000,
+                }))
+        },
+    },
+    CatalogEntry {
+        name: "replay-chase-2ch",
+        artifact: "scaling (ROADMAP)",
+        description: "Dependent pointer-chase replay across 2 channels (worst-case locality)",
+        expected: Expected::Any,
+        build: || {
+            Scenario::builder()
+                .engine(EngineConfig::sharded(2))
+                .victim(VictimSpec::row(20, 0xA5))
+                .attack(ReplayWorkload::workload(&Workload::PointerChase {
+                    base: 0,
+                    span: 512 * 64,
+                    len: 8,
+                    count: 1_000,
+                    seed: 7,
+                }))
+        },
+    },
+    CatalogEntry {
+        name: "replay-hammer-vs-dram-locker",
+        artifact: "Fig. 4(d) via replay",
+        description: "A recorded hammer-loop trace replayed against the lock table",
+        expected: Expected::Contained,
+        build: || {
+            Scenario::builder()
+                .victim(VictimSpec::row(20, 0xA5))
+                .attack(ReplayWorkload::workload(&Workload::HammerLoop {
+                    addr_a: 19 * 64,
+                    addr_b: 21 * 64,
+                    iterations: 500,
+                }))
+                .defense(LockerMitigation::adjacent())
+        },
+    },
+    CatalogEntry {
+        name: "replay-multitenant-4ch",
+        artifact: "multi-tenant (ROADMAP)",
+        description: "Four tenants interleaved over 4 channels; the hammer tenant corrupts \
+                      channel 0's victim, channel 1's tenant is untouched",
+        expected: Expected::Harmed,
+        build: multitenant_4ch,
+    },
+    CatalogEntry {
+        name: "replay-multitenant-4ch-vs-dram-locker",
+        artifact: "multi-tenant (ROADMAP)",
+        description: "The same 4-channel mix with per-shard lock-table slices mounted",
+        expected: Expected::Contained,
+        build: || multitenant_4ch().defense(LockerMitigation::adjacent()),
     },
 ];
 

@@ -2,6 +2,7 @@
 
 use dlk_dnn::DnnError;
 use dlk_dram::DramError;
+use dlk_engine::EngineError;
 use dlk_locker::LockerError;
 use dlk_memctrl::MemCtrlError;
 
@@ -16,6 +17,8 @@ pub enum SimError {
     Dnn(DnnError),
     /// DRAM-Locker failure (lock-table capacity, bad ranges).
     Locker(LockerError),
+    /// Sharded execution engine failure (bad channel, shard error).
+    Engine(EngineError),
     /// Scenario assembly failure (missing victim, bad target index, …).
     Build(String),
 }
@@ -27,6 +30,7 @@ impl std::fmt::Display for SimError {
             SimError::Dram(e) => write!(f, "dram: {e}"),
             SimError::Dnn(e) => write!(f, "dnn: {e}"),
             SimError::Locker(e) => write!(f, "locker: {e}"),
+            SimError::Engine(e) => write!(f, "engine: {e}"),
             SimError::Build(msg) => write!(f, "scenario build: {msg}"),
         }
     }
@@ -55,6 +59,12 @@ impl From<DnnError> for SimError {
 impl From<LockerError> for SimError {
     fn from(e: LockerError) -> Self {
         SimError::Locker(e)
+    }
+}
+
+impl From<EngineError> for SimError {
+    fn from(e: EngineError) -> Self {
+        SimError::Engine(e)
     }
 }
 

@@ -60,7 +60,7 @@ pub mod victim;
 
 pub use crate::attack::{
     Attack, BfaHammerAttack, HammerAttack, InferenceStream, PageTablePoison, ProgressiveBfa,
-    RandomFlipAttack, RowProbe, RunEnv,
+    RandomFlipAttack, ReplayWorkload, RowProbe, RunEnv,
 };
 pub use crate::catalog::{catalog, find, CatalogEntry, Expected};
 pub use crate::error::SimError;
@@ -71,3 +71,5 @@ pub use crate::mitigation::{
 pub use crate::report::{AttackOutcome, MitigationReport, RunReport, VictimReport};
 pub use crate::scenario::{Budget, Scenario, ScenarioBuilder, ScenarioRun};
 pub use crate::victim::{DeployedVictim, VictimSpec};
+
+pub use dlk_engine::{EngineConfig, ShardedEngine, Workload};

@@ -4,7 +4,7 @@ use dlk_dnn::BitIndex;
 use dlk_memctrl::ControllerStats;
 
 /// What the attack itself observed.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AttackOutcome {
     /// Bit flips the attack actually landed.
     pub landed_flips: u64,
@@ -31,7 +31,7 @@ impl AttackOutcome {
 }
 
 /// Per-victim outcome.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct VictimReport {
     /// Accuracy (%) before the attack (model-backed victims).
     pub accuracy_before_pct: Option<f64>,
@@ -60,7 +60,7 @@ impl VictimReport {
 }
 
 /// Defensive actions one mounted mitigation took during the run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MitigationReport {
     /// The mitigation's name.
     pub name: String,
@@ -71,12 +71,18 @@ pub struct MitigationReport {
 }
 
 /// The unified report every scenario run produces.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is intentional infrastructure: a sharded multi-channel
+/// run must produce a report *equal* to its serial reference, and the
+/// determinism suite asserts exactly that.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Scenario label.
     pub scenario: String,
     /// Attack name (empty when the scenario ran without one).
     pub attack: String,
+    /// DRAM channels the scenario ran over (shards of the engine).
+    pub channels: usize,
     /// Names of the mounted defenses, in mount order.
     pub defenses: Vec<String>,
     /// Flips the attack landed.
@@ -143,6 +149,7 @@ mod tests {
         let mut report = RunReport {
             scenario: "t".into(),
             attack: "a".into(),
+            channels: 1,
             defenses: vec![],
             landed_flips: 0,
             requests: 0,

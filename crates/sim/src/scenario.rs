@@ -25,6 +25,7 @@
 //! ```
 
 use dlk_dnn::QuantizedMlp;
+use dlk_engine::{EngineConfig, ShardedEngine};
 use dlk_memctrl::{MemCtrlConfig, MemoryController};
 
 use crate::attack::{Attack, RunEnv};
@@ -64,7 +65,8 @@ impl Scenario {
 pub struct ScenarioBuilder {
     label: String,
     config: MemCtrlConfig,
-    victims: Vec<VictimSpec>,
+    engine: EngineConfig,
+    victims: Vec<(VictimSpec, usize)>,
     attack: Option<Box<dyn Attack>>,
     defenses: Vec<Box<dyn Mitigation>>,
     budget: Budget,
@@ -77,6 +79,7 @@ impl ScenarioBuilder {
         Self {
             label: "unnamed".to_owned(),
             config: MemCtrlConfig::tiny_for_tests(),
+            engine: EngineConfig::serial(),
             victims: Vec::new(),
             attack: None,
             defenses: Vec::new(),
@@ -92,17 +95,36 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Sets the device/controller configuration (default: the tiny
-    /// test geometry, TRH 16).
+    /// Sets the *per-channel* device/controller configuration (default:
+    /// the tiny test geometry, TRH 16).
     pub fn geometry(mut self, config: MemCtrlConfig) -> Self {
         self.config = config;
         self
     }
 
-    /// Adds a victim. Repeatable: later victims share the device
-    /// (multi-tenant scenarios).
+    /// Sets the execution engine configuration (default:
+    /// [`EngineConfig::serial`], one channel, no threads). With
+    /// [`EngineConfig::sharded`], the scenario instantiates one channel
+    /// shard per DRAM channel — each with its own controller, device
+    /// and mounted defense chain — and steps them on scoped threads.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Adds a victim on channel 0. Repeatable: later victims share the
+    /// device (multi-tenant scenarios).
     pub fn victim(mut self, spec: VictimSpec) -> Self {
-        self.victims.push(spec);
+        self.victims.push((spec, 0));
+        self
+    }
+
+    /// Adds a victim homed on a specific channel of a multi-channel
+    /// engine — cross-channel multi-tenant scenarios. The victim's
+    /// data, OS protection and defense coverage all live on that
+    /// channel's shard.
+    pub fn victim_on(mut self, spec: VictimSpec, channel: usize) -> Self {
+        self.victims.push((spec, channel));
         self
     }
 
@@ -137,13 +159,14 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Deploys the victims, mounts the defenses and returns the
-    /// executable pipeline.
+    /// Deploys the victims on their home shards, mounts the defense
+    /// stack on every channel, and returns the executable pipeline.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Build`] for an empty victim list or a bad
-    /// target index, and propagates deployment/mount failures.
+    /// Returns [`SimError::Build`] for an empty victim list, a bad
+    /// target index, a zero channel count or an out-of-range home
+    /// channel, and propagates deployment/mount failures.
     pub fn build(self) -> Result<ScenarioRun, SimError> {
         if self.victims.is_empty() {
             return Err(SimError::Build(format!("scenario '{}' has no victim", self.label)));
@@ -155,31 +178,56 @@ impl ScenarioBuilder {
                 self.victims.len()
             )));
         }
-        let mut ctrl = MemoryController::new(self.config);
+        let channels = self.engine.channels;
+        if let Some(&(_, bad)) = self.victims.iter().find(|&&(_, channel)| channel >= channels) {
+            return Err(SimError::Build(format!(
+                "victim homed on channel {bad}, but the engine has {channels} channels"
+            )));
+        }
+        let mut engine = ShardedEngine::new(self.engine, self.config)?;
+
+        // Deploy every victim on its home shard (shard-local
+        // addressing: each channel is its own device).
         let mut victims = Vec::with_capacity(self.victims.len());
-        for spec in self.victims {
-            victims.push(spec.deploy(&mut ctrl)?);
+        let mut homes = Vec::with_capacity(self.victims.len());
+        for (spec, home) in self.victims {
+            victims.push(spec.deploy(engine.shard_mut(home).controller_mut())?);
+            homes.push(home);
         }
-        let guarded: Vec<(u64, u64)> =
-            victims.iter().flat_map(|v| v.guarded_ranges().iter().copied()).collect();
-        let ctx = MountCtx { geometry: ctrl.geometry(), mapper: ctrl.mapper(), guarded: &guarded };
-        let mut hooks = Vec::with_capacity(self.defenses.len());
-        for mitigation in &self.defenses {
-            hooks.push(mitigation.mount(&ctx)?);
+
+        // Each channel guards the ranges of the victims homed on it —
+        // the per-channel slice of the defense state (for DRAM-Locker,
+        // the shard's lock-table slice).
+        let mut guarded_per_channel: Vec<Vec<(u64, u64)>> = vec![Vec::new(); channels];
+        for (victim, &home) in victims.iter().zip(&homes) {
+            guarded_per_channel[home].extend(victim.guarded_ranges().iter().copied());
         }
-        match hooks.len() {
-            0 => {}
-            1 => {
-                ctrl.set_hook(hooks.pop().expect("one hook"));
+        for (channel, guarded) in guarded_per_channel.iter().enumerate() {
+            let shard = engine.shard_mut(channel);
+            let ctx = MountCtx {
+                geometry: shard.controller().geometry(),
+                mapper: shard.controller().mapper(),
+                guarded,
+            };
+            let mut hooks = Vec::with_capacity(self.defenses.len());
+            for mitigation in &self.defenses {
+                hooks.push(mitigation.mount(&ctx)?);
             }
-            _ => {
-                ctrl.set_hook(Box::new(HookChain::new(hooks)));
+            match hooks.len() {
+                0 => {}
+                1 => {
+                    shard.controller_mut().set_hook(hooks.pop().expect("one hook"));
+                }
+                _ => {
+                    shard.controller_mut().set_hook(Box::new(HookChain::new(hooks)));
+                }
             }
         }
         Ok(ScenarioRun {
             label: self.label,
-            ctrl,
+            engine,
             victims,
+            homes,
             attack: self.attack,
             defenses: self.defenses,
             budget: self.budget,
@@ -192,8 +240,10 @@ impl ScenarioBuilder {
 /// A built, deployed pipeline, ready to run.
 pub struct ScenarioRun {
     label: String,
-    ctrl: MemoryController,
+    engine: ShardedEngine,
     victims: Vec<DeployedVictim>,
+    /// Each victim's home channel, parallel to `victims`.
+    homes: Vec<usize>,
     attack: Option<Box<dyn Attack>>,
     defenses: Vec<Box<dyn Mitigation>>,
     budget: Budget,
@@ -205,9 +255,10 @@ impl std::fmt::Debug for ScenarioRun {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ScenarioRun")
             .field("label", &self.label)
+            .field("channels", &self.engine.channels())
             .field("victims", &self.victims.len())
             .field("attack", &self.attack.as_ref().map(|a| a.name()))
-            .field("hook", &self.ctrl.hook().name())
+            .field("hook", &self.engine.primary().controller().hook().name())
             .field("budget", &self.budget)
             .finish()
     }
@@ -224,15 +275,28 @@ impl ScenarioRun {
         self.budget
     }
 
-    /// The memory controller (read-only).
-    pub fn controller(&self) -> &MemoryController {
-        &self.ctrl
+    /// The sharded execution engine (read-only).
+    pub fn engine(&self) -> &ShardedEngine {
+        &self.engine
     }
 
-    /// Mutable access to the controller — for demonstrations and tests
-    /// that drive extra traffic through the same pipeline.
+    /// Mutable access to the engine — for demonstrations and tests
+    /// that route extra global traffic through the same pipeline.
+    pub fn engine_mut(&mut self) -> &mut ShardedEngine {
+        &mut self.engine
+    }
+
+    /// Channel 0's memory controller (read-only). For the default
+    /// serial engine this is *the* controller, exactly as before the
+    /// engine migration.
+    pub fn controller(&self) -> &MemoryController {
+        self.engine.primary().controller()
+    }
+
+    /// Mutable access to channel 0's controller — for demonstrations
+    /// and tests that drive extra shard-local traffic.
     pub fn controller_mut(&mut self) -> &mut MemoryController {
-        &mut self.ctrl
+        self.engine.primary_mut().controller_mut()
     }
 
     /// The deployed victims.
@@ -245,7 +309,12 @@ impl ScenarioRun {
         &self.victims[index]
     }
 
-    /// Reloads victim `index`'s model from the device through the
+    /// Victim `index`'s home channel.
+    pub fn home(&self, index: usize) -> usize {
+        self.homes[index]
+    }
+
+    /// Reloads victim `index`'s model from its home shard through the
     /// controller (trusted reads, following defense redirects).
     ///
     /// # Errors
@@ -253,7 +322,7 @@ impl ScenarioRun {
     /// Propagates controller errors; `Ok(None)` for raw-row victims.
     pub fn reload_model(&mut self, index: usize) -> Result<Option<QuantizedMlp>, SimError> {
         let victim = &self.victims[index];
-        victim.reload_model(&mut self.ctrl)
+        victim.reload_model(self.engine.shard_mut(self.homes[index]).controller_mut())
     }
 
     /// Executes the attack phase, then measures every victim and
@@ -277,8 +346,9 @@ impl ScenarioRun {
         let (outcome, attack_name) = match self.attack.take() {
             Some(mut attack) => {
                 let mut env = RunEnv {
-                    ctrl: &mut self.ctrl,
+                    engine: &mut self.engine,
                     victims: &self.victims,
+                    homes: &self.homes,
                     target: self.target,
                     budget: self.budget,
                     eval_batch: self.eval_batch,
@@ -292,17 +362,18 @@ impl ScenarioRun {
         };
 
         // Snapshot attack-phase costs before the measurement probes
-        // drive their own traffic.
-        let cycles = self.ctrl.dram().stats().cycles;
-        let energy_pj = self.ctrl.dram().stats().energy_pj;
-        let controller = *self.ctrl.stats();
+        // drive their own traffic. The snapshot is merged in channel-id
+        // order, so it is identical whether the shards just ran on
+        // threads or serially.
+        let snapshot = self.engine.snapshot();
 
         let mut victim_reports = Vec::with_capacity(self.victims.len());
         for (index, victim) in self.victims.iter().enumerate() {
-            let reloaded = victim.reload_model(&mut self.ctrl)?;
+            let ctrl = self.engine.shard_mut(self.homes[index]).controller_mut();
+            let reloaded = victim.reload_model(ctrl)?;
             let accuracy_after_pct =
                 reloaded.and_then(|model| victim.accuracy_pct(&model, self.eval_batch));
-            let data_intact = victim.data_intact(&mut self.ctrl)?;
+            let data_intact = victim.data_intact(ctrl)?;
             victim_reports.push(VictimReport {
                 accuracy_before_pct: accuracy_before[index],
                 accuracy_after_pct,
@@ -310,30 +381,34 @@ impl ScenarioRun {
             });
         }
 
-        let hook = self.ctrl.hook();
-        let mitigations: Vec<MitigationReport> = match hook
-            .as_any()
-            .and_then(|any| any.downcast_ref::<HookChain>())
-        {
-            Some(chain) => self
-                .defenses
-                .iter()
-                .zip(chain.hooks())
-                .map(|(m, h)| MitigationReport {
-                    name: m.name().to_owned(),
-                    actions: m.actions(h.as_ref()),
-                })
-                .collect(),
-            None => self
-                .defenses
-                .iter()
-                .map(|m| MitigationReport { name: m.name().to_owned(), actions: m.actions(hook) })
-                .collect(),
-        };
+        // Per-defense action counts, summed over channels in channel-id
+        // order: every shard mounted the same stack, so defense `i` is
+        // hook `i` of every shard's chain.
+        let mitigations: Vec<MitigationReport> = self
+            .defenses
+            .iter()
+            .enumerate()
+            .map(|(index, mitigation)| {
+                let actions = self
+                    .engine
+                    .shards()
+                    .iter()
+                    .map(|shard| {
+                        let hook = shard.controller().hook();
+                        match hook.as_any().and_then(|any| any.downcast_ref::<HookChain>()) {
+                            Some(chain) => mitigation.actions(chain.hooks()[index].as_ref()),
+                            None => mitigation.actions(hook),
+                        }
+                    })
+                    .sum();
+                MitigationReport { name: mitigation.name().to_owned(), actions }
+            })
+            .collect();
 
         Ok(RunReport {
             scenario: self.label.clone(),
             attack: attack_name,
+            channels: self.engine.channels(),
             defenses: self.defenses.iter().map(|m| m.name().to_owned()).collect(),
             landed_flips: outcome.landed_flips,
             requests: outcome.requests,
@@ -342,9 +417,9 @@ impl ScenarioRun {
             target_bits: outcome.target_bits,
             flipped_bits: outcome.flipped_bits,
             curve: outcome.curve,
-            cycles,
-            energy_pj,
-            controller,
+            cycles: snapshot.cycles,
+            energy_pj: snapshot.energy_pj,
+            controller: snapshot.controller,
             victims: victim_reports,
             mitigations,
         })

@@ -8,6 +8,9 @@
 //! - [`dnn`] — quantized DNN substrate (training, inference, DRAM layout);
 //! - [`attacks`] — BFA, random-flip and page-table attacks;
 //! - [`defenses`] — SHADOW and other baseline RowHammer defenses;
+//! - [`engine`] — sharded multi-channel execution engine with
+//!   trace-driven workload replay (scoped-thread parallelism,
+//!   deterministic merge);
 //! - [`sim`] — the unified Scenario API: builder-driven pipelines
 //!   composing victims, attacks and defenses into one run;
 //! - [`xlayer`] — cross-layer evaluation framework and paper experiments.
@@ -37,11 +40,34 @@
 //!
 //! The named attack × defense scenarios of the paper's evaluation are
 //! enumerable via [`sim::catalog()`].
+//!
+//! ## Scaling out
+//!
+//! Multi-channel geometries run each channel on its own shard —
+//! stepped on scoped threads, merged deterministically:
+//!
+//! ```
+//! use dram_locker::sim::{EngineConfig, ReplayWorkload, Scenario, VictimSpec, Workload};
+//!
+//! # fn main() -> Result<(), dram_locker::sim::SimError> {
+//! let mut run = Scenario::builder()
+//!     .engine(EngineConfig::sharded(2))
+//!     .victim_on(VictimSpec::row(20, 0xA5), 0)
+//!     .victim_on(VictimSpec::row(20, 0x5A), 1)
+//!     .attack(ReplayWorkload::workload(&Workload::Sequential { base: 0, len: 8, count: 256 }))
+//!     .build()?;
+//! let report = run.run()?;
+//! assert_eq!(report.channels, 2);
+//! assert!(!report.harmed());
+//! # Ok(())
+//! # }
+//! ```
 
 pub use dlk_attacks as attacks;
 pub use dlk_defenses as defenses;
 pub use dlk_dnn as dnn;
 pub use dlk_dram as dram;
+pub use dlk_engine as engine;
 pub use dlk_locker as locker;
 pub use dlk_memctrl as memctrl;
 pub use dlk_sim as sim;

@@ -3,8 +3,7 @@
 //! onto a raw `MemoryController` (the legacy path). The scenario
 //! pipeline adds nothing and hides nothing from the hook.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 
@@ -21,19 +20,19 @@ use dram_locker::sim::{Budget, HammerAttack, Scenario, TrackerMitigation, Victim
 struct SpyTracker {
     threshold: u64,
     count: u64,
-    log: Rc<RefCell<Vec<u64>>>,
+    log: Arc<Mutex<Vec<u64>>>,
 }
 
 impl SpyTracker {
-    fn new(threshold: u64) -> (Self, Rc<RefCell<Vec<u64>>>) {
-        let log = Rc::new(RefCell::new(Vec::new()));
+    fn new(threshold: u64) -> (Self, Arc<Mutex<Vec<u64>>>) {
+        let log = Arc::new(Mutex::new(Vec::new()));
         (Self { threshold, count: 0, log: log.clone() }, log)
     }
 }
 
 impl RowTracker for SpyTracker {
     fn on_activate(&mut self, row: RowId) -> bool {
-        self.log.borrow_mut().push(row.0);
+        self.log.lock().unwrap().push(row.0);
         self.count += 1;
         if self.count >= self.threshold {
             self.count = 0;
@@ -96,7 +95,7 @@ proptest! {
             .service(MemRequest::read(victim_row * row_bytes as u64, row_bytes))
             .expect("victim read");
 
-        prop_assert_eq!(scenario_log.borrow().clone(), legacy_log.borrow().clone());
+        prop_assert_eq!(scenario_log.lock().unwrap().clone(), legacy_log.lock().unwrap().clone());
         // The surfaced outcome matches the raw driver's too.
         prop_assert_eq!(report.landed_flips > 0, outcome.flipped);
         prop_assert_eq!(report.requests, outcome.requests);
