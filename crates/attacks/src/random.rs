@@ -115,6 +115,6 @@ mod tests {
         for _ in 0..200 {
             layers_seen.insert(attack.next_flip(&victim.model).layer);
         }
-        assert_eq!(layers_seen.len(), victim.model.layers().len());
+        assert_eq!(layers_seen.len(), victim.model.weighted_count());
     }
 }

@@ -157,10 +157,19 @@ pub struct BinaryWeight;
 impl BinaryWeight {
     /// Evaluates the Table II row: greedy sign-flip attack on the
     /// binarized model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victim` is not an MLP victim — the Table II
+    /// training-time baselines binarize/regrow dense layers and are
+    /// evaluated on the paper's MLP stand-ins, not the CNN victims.
     pub fn evaluate(&self, victim: &Victim, sample: usize, budget: usize) -> TableTwoEntry {
         let (x, y) = victim.dataset.test_sample(sample, 0);
-        let mut model =
-            BinaryMlp::binarize_with_finetune(&victim.model.to_float_model(), &victim.dataset, 20);
+        let mut model = BinaryMlp::binarize_with_finetune(
+            &victim.model.to_mlp().expect("Table II defenses evaluate the MLP victims"),
+            &victim.dataset,
+            20,
+        );
         evaluate_binary("Binary Weight", &mut model, &victim.dataset, &x, &y, budget)
     }
 }
@@ -181,10 +190,15 @@ impl Default for RaBnn {
 
 impl RaBnn {
     /// Evaluates the Table II row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victim` is not an MLP victim (see
+    /// [`BinaryWeight::evaluate`]).
     pub fn evaluate(&self, victim: &Victim, sample: usize, budget: usize) -> TableTwoEntry {
         let (x, y) = victim.dataset.test_sample(sample, 0);
         // Grow hidden layers and retrain a float model, then binarize.
-        let base = victim.model.to_float_model();
+        let base = victim.model.to_mlp().expect("Table II defenses evaluate the MLP victims");
         let mut sizes = vec![base.in_features()];
         for layer in &base.layers()[..base.num_layers() - 1] {
             sizes.push(layer.out_features() * self.growth);
@@ -241,9 +255,14 @@ impl Default for CapacityScale {
 
 impl CapacityScale {
     /// Evaluates the Table II row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victim` is not an MLP victim (see
+    /// [`BinaryWeight::evaluate`]).
     pub fn evaluate(&self, victim: &Victim, sample: usize, budget: usize) -> TableTwoEntry {
         let (x, y) = victim.dataset.test_sample(sample, 0);
-        let base = victim.model.to_float_model();
+        let base = victim.model.to_mlp().expect("Table II defenses evaluate the MLP victims");
         let mut sizes = vec![base.in_features()];
         for layer in &base.layers()[..base.num_layers() - 1] {
             sizes.push(layer.out_features() * self.width_factor);
@@ -272,7 +291,9 @@ mod tests {
     #[test]
     fn binarize_roundtrip_shapes() {
         let victim = models::victim_tiny(8);
-        let binary = BinaryMlp::binarize(&victim.model.to_float_model());
+        let binary = BinaryMlp::binarize(
+            &victim.model.to_mlp().expect("Table II defenses evaluate the MLP victims"),
+        );
         assert_eq!(binary.total_weights(), victim.model.total_weights());
         let float_model = binary.to_float_model();
         assert_eq!(float_model.num_classes(), 4);
@@ -282,7 +303,9 @@ mod tests {
     fn binary_model_keeps_useful_accuracy() {
         let victim = models::victim_tiny(8);
         let (x, y) = victim.dataset.test_sample(48, 0);
-        let binary = BinaryMlp::binarize(&victim.model.to_float_model());
+        let binary = BinaryMlp::binarize(
+            &victim.model.to_mlp().expect("Table II defenses evaluate the MLP victims"),
+        );
         let acc = binary.accuracy(&x, &y);
         assert!(
             acc > victim.dataset.chance_accuracy() * 1.5,
@@ -293,7 +316,9 @@ mod tests {
     #[test]
     fn sign_flip_toggles() {
         let victim = models::victim_tiny(8);
-        let mut binary = BinaryMlp::binarize(&victim.model.to_float_model());
+        let mut binary = BinaryMlp::binarize(
+            &victim.model.to_mlp().expect("Table II defenses evaluate the MLP victims"),
+        );
         let before = binary.signs[0][0];
         binary.flip_sign(0, 0);
         assert_ne!(binary.signs[0][0], before);

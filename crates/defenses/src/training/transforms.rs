@@ -34,12 +34,12 @@ impl PiecewiseClustering {
     pub fn apply(&self, victim: &Victim) -> QuantizedMlp {
         let mut float_model = victim.model.to_float_model();
         for layer in float_model.layers_mut() {
-            let mut magnitudes: Vec<f32> =
-                layer.weight().as_slice().iter().map(|w| w.abs()).collect();
+            let Some(weight) = layer.weight_mut() else { continue };
+            let mut magnitudes: Vec<f32> = weight.as_slice().iter().map(|w| w.abs()).collect();
             magnitudes.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             let index = ((magnitudes.len() - 1) as f64 * self.quantile) as usize;
             let clip = magnitudes[index].max(1e-6);
-            for w in layer.weight_mut().as_mut_slice() {
+            for w in weight.as_mut_slice() {
                 *w = w.clamp(-clip, clip);
             }
         }
@@ -85,9 +85,10 @@ impl WeightReconstruction {
     /// fingerprint than whole layers).
     pub fn envelope(model: &QuantizedMlp) -> Vec<Vec<(f32, f32)>> {
         model
-            .layers()
+            .weighted_layers()
             .iter()
             .map(|layer| {
+                let layer = layer.matrix().expect("weighted layers carry a matrix");
                 let input = layer.in_features().max(1);
                 let qs = layer.qweights();
                 (0..layer.out_features())
@@ -106,7 +107,8 @@ impl WeightReconstruction {
     /// Repairs outliers in place; returns how many weights were fixed.
     pub fn repair(&self, model: &mut QuantizedMlp, envelope: &[Vec<(f32, f32)>]) -> usize {
         let mut repaired = 0;
-        for (layer_index, layer) in model.layers_mut().iter_mut().enumerate() {
+        for (layer_index, layer) in model.weighted_layers_mut().into_iter().enumerate() {
+            let layer = layer.matrix_mut().expect("weighted layers carry a matrix");
             let input = layer.in_features().max(1);
             for index in 0..layer.num_weights() {
                 let (mean, std) = envelope[layer_index][index / input];
@@ -164,7 +166,7 @@ mod tests {
     fn clustering_shrinks_quantization_scale() {
         let victim = models::victim_tiny(5);
         let clustered = PiecewiseClustering { quantile: 0.9 }.apply(&victim);
-        for (orig, new) in victim.model.layers().iter().zip(clustered.layers()) {
+        for (orig, new) in victim.model.weighted_layers().iter().zip(clustered.weighted_layers()) {
             assert!(new.scale() <= orig.scale());
         }
     }
@@ -187,17 +189,20 @@ mod tests {
         defense.repair(&mut model, &envelope);
         // Pick a small weight: its MSB flip lands far outside the row
         // envelope and must be repaired.
-        let weight = (0..model.layers()[0].num_weights())
-            .find(|&i| (model.layers()[0].weight_byte(i).unwrap() as i8).abs() <= 8)
+        let byte_at = |model: &dlk_dnn::QuantizedMlp, i: usize| {
+            model.weighted_layers()[0].matrix().unwrap().weight_byte(i).unwrap() as i8
+        };
+        let weight = (0..model.weighted_layers()[0].num_weights())
+            .find(|&i| byte_at(&model, i).abs() <= 8)
             .expect("a small weight exists");
         let flip = dlk_dnn::BitIndex { layer: 0, weight, bit: 7 };
         model.flip_bit(flip).unwrap();
-        let flipped = model.layers()[0].weight_byte(weight).unwrap() as i8;
+        let flipped = byte_at(&model, weight);
         assert!(flipped.unsigned_abs() >= 120);
         let repaired = defense.repair(&mut model, &envelope);
         assert!(repaired >= 1);
         // The repaired weight is back near the envelope, not at ±128.
-        let byte = model.layers()[0].weight_byte(weight).unwrap() as i8;
+        let byte = byte_at(&model, weight);
         assert!(
             byte.unsigned_abs() < 120,
             "repair should pull the weight back (flipped {flipped} -> {byte})"

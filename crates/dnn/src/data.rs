@@ -96,6 +96,72 @@ impl SyntheticDataset {
         Self::generate(4, 8, 30, 12, 3.0, seed)
     }
 
+    /// Generates an *image* dataset of `classes` patterns on a `h`×`w`
+    /// single-channel grid. Class centroids are random fields smoothed
+    /// with repeated 3×3 box filters, so class evidence lives in the
+    /// low spatial frequencies — the structure convolution and pooling
+    /// exploit (white per-pixel Gaussian noise is added per sample, as
+    /// in [`SyntheticDataset::generate`]).
+    pub fn images(
+        classes: usize,
+        h: usize,
+        w: usize,
+        per_class_train: usize,
+        per_class_test: usize,
+        separation: f32,
+        seed: u64,
+    ) -> Self {
+        let dim = h * w;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centroids: Vec<Vec<f32>> = (0..classes)
+            .map(|_| {
+                let mut p: Vec<f32> = (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+                // Two smoothing passes concentrate energy in low
+                // frequencies without flattening the pattern.
+                for _ in 0..2 {
+                    p = box_smooth(&p, h, w);
+                }
+                let norm = p.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+                p.into_iter().map(|x| x / norm * separation).collect()
+            })
+            .collect();
+        let sample = |count: usize, rng: &mut StdRng| {
+            let mut xs = Vec::with_capacity(classes * count * dim);
+            let mut ys = Vec::with_capacity(classes * count);
+            for (class, centroid) in centroids.iter().enumerate() {
+                for _ in 0..count {
+                    for &c in centroid {
+                        xs.push(c + gaussian(rng));
+                    }
+                    ys.push(class);
+                }
+            }
+            (Tensor::from_vec(classes * count, dim, xs), ys)
+        };
+        let (train_x, train_y) = sample(per_class_train, &mut rng);
+        let (test_x, test_y) = sample(per_class_test, &mut rng);
+        Self { num_classes: classes, dim, train_x, train_y, test_x, test_y }
+    }
+
+    /// The CIFAR-10 stand-in for *convolutional* victims: 10 classes of
+    /// 1×8×8 images (64 features, interpreted channel-major by the CNN
+    /// models in [`models`](crate::models)).
+    pub fn cifar10_images(seed: u64) -> Self {
+        Self::images(10, 8, 8, 40, 16, 6.0, seed)
+    }
+
+    /// The CIFAR-100 stand-in for convolutional victims: 100 classes of
+    /// 1×8×8 images.
+    pub fn cifar100_images(seed: u64) -> Self {
+        Self::images(100, 8, 8, 16, 6, 7.0, seed)
+    }
+
+    /// A tiny image dataset for CNN unit tests: 4 classes of 1×6×6
+    /// images (36 features).
+    pub fn tiny_images_for_tests(seed: u64) -> Self {
+        Self::images(4, 6, 6, 30, 12, 5.0, seed)
+    }
+
     /// Random accuracy level (1 / classes) — what a destroyed model
     /// converges to.
     pub fn chance_accuracy(&self) -> f64 {
@@ -122,6 +188,28 @@ impl SyntheticDataset {
         }
         (Tensor::from_vec(take, self.dim, xs), ys)
     }
+}
+
+/// One 3×3 box-filter pass over an `h`×`w` grid (edge-clamped).
+fn box_smooth(p: &[f32], h: usize, w: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; p.len()];
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            let mut n = 0.0;
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let (sy, sx) = (y as i64 + dy, x as i64 + dx);
+                    if sy >= 0 && sx >= 0 && (sy as usize) < h && (sx as usize) < w {
+                        acc += p[sy as usize * w + sx as usize];
+                        n += 1.0;
+                    }
+                }
+            }
+            out[y * w + x] = acc / n;
+        }
+    }
+    out
 }
 
 /// Standard normal sample via Box-Muller.

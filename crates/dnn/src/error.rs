@@ -33,6 +33,9 @@ pub enum DnnError {
         /// Bytes available.
         available: u64,
     },
+    /// A network's `SkipStart`/`SkipAdd` residual markers are not
+    /// properly paired.
+    UnbalancedSkip,
 }
 
 impl fmt::Display for DnnError {
@@ -47,6 +50,9 @@ impl fmt::Display for DnnError {
             DnnError::Dram(err) => write!(f, "dram error: {err}"),
             DnnError::RegionTooSmall { needed, available } => {
                 write!(f, "model needs {needed} bytes but region has {available}")
+            }
+            DnnError::UnbalancedSkip => {
+                write!(f, "unbalanced SkipStart/SkipAdd residual markers")
             }
         }
     }

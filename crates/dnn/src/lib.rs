@@ -7,16 +7,22 @@
 //! - [`tensor`]: a minimal 2-D tensor (row-major `f32` matrix);
 //! - [`layers`]: fully-connected layers with ReLU and a softmax
 //!   cross-entropy head, all with hand-written backprop;
+//! - [`conv`]: 2-D convolution (im2col forward/backward) and pooling;
 //! - [`model`]: the [`Mlp`] network and its training-time API;
+//! - [`network`]: the general sequential [`Network`] — a flat
+//!   [`Layer`](network::Layer) plan with residual-skip markers that
+//!   subsumes [`Mlp`] and hosts the CNN topologies;
 //! - [`quant`]: symmetric 8-bit quantization and the
-//!   [`QuantizedMlp`] inference network with per-bit weight access —
-//!   the attack surface of BFA;
+//!   [`QuantNetwork`] inference network (historical alias
+//!   [`QuantizedMlp`]) with per-bit weight access — the attack
+//!   surface of BFA, for dense *and* conv kernels;
 //! - [`data`]: deterministic synthetic classification datasets
 //!   standing in for CIFAR-10 / CIFAR-100 (see DESIGN.md §3 for the
 //!   substitution argument);
-//! - [`train`]: SGD training;
-//! - [`models`]: the paper's two evaluation networks, scaled:
-//!   ResNet-20-like (CIFAR-10-like) and VGG-11-like (CIFAR-100-like);
+//! - [`train`]: SGD training over any [`Trainable`] model;
+//! - [`models`]: the paper's evaluation networks — MLP stand-ins plus
+//!   real ResNet-20-shaped and VGG-11-shaped CNNs on the quantized
+//!   substrate;
 //! - [`storage`]: the DRAM weight layout — deploys quantized weights
 //!   into [`dlk_dram`] rows and reads them back, so RowHammer flips in
 //!   DRAM *are* weight corruptions at inference time.
@@ -37,21 +43,27 @@
 //! assert!(quantized.total_weights() > 0);
 //! ```
 
+pub mod conv;
 pub mod data;
 pub mod error;
 pub mod layers;
 pub mod model;
 pub mod models;
+pub mod network;
 pub mod quant;
 pub mod storage;
 pub mod tensor;
 pub mod train;
 
+pub use crate::conv::{Conv2d, ConvSpec, Pool2d};
 pub use crate::data::SyntheticDataset;
 pub use crate::error::DnnError;
 pub use crate::layers::Linear;
 pub use crate::model::Mlp;
-pub use crate::quant::{BitIndex, QuantLinear, QuantizedMlp};
+pub use crate::network::{Layer, LayerGrads, Network};
+pub use crate::quant::{
+    BitIndex, QuantConv2d, QuantLayer, QuantLinear, QuantNetwork, QuantizedMlp,
+};
 pub use crate::storage::WeightLayout;
 pub use crate::tensor::Tensor;
-pub use crate::train::{TrainConfig, TrainReport, Trainer};
+pub use crate::train::{TrainConfig, TrainReport, Trainable, Trainer};

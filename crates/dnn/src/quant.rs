@@ -6,20 +6,30 @@
 //! the effective weight by `±2^bit · scale` for magnitude bits — and
 //! flips of bit 7 (the sign bit in two's complement) swing the weight
 //! by up to `128·scale`, which is why BFA overwhelmingly targets MSBs.
+//!
+//! The quantized network mirrors the float [`Network`]: a flat
+//! [`QuantLayer`] plan whose weighted entries (dense matrices and conv
+//! kernel matrices) are the attack surface. [`BitIndex::layer`]
+//! indexes the *weighted* layers in execution order, so an MLP's
+//! indices are unchanged from the original all-dense substrate and a
+//! CNN's conv kernels are addressed the same way.
 
 use serde::{Deserialize, Serialize};
 
+use crate::conv::{Conv2d, ConvSpec, Pool2d};
 use crate::error::DnnError;
-use crate::layers::{Linear, LinearGrads};
+use crate::layers::Linear;
 use crate::model::{argmax_rows, Mlp};
+use crate::network::{Layer, LayerGrads, Network};
 use crate::tensor::Tensor;
 
 /// Identifies one bit of one quantized weight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct BitIndex {
-    /// Layer index.
+    /// Index among the network's *weighted* layers (dense + conv), in
+    /// execution order.
     pub layer: usize,
-    /// Flat weight index within the layer.
+    /// Flat weight index within the layer's kernel/weight matrix.
     pub weight: usize,
     /// Bit position (0 = LSB, 7 = sign bit).
     pub bit: u8,
@@ -115,6 +125,123 @@ impl QuantLinear {
     }
 }
 
+/// A quantized 2-D convolution: the im2col kernel matrix quantized
+/// exactly like a dense layer, plus the spatial spec to execute it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantConv2d {
+    matrix: QuantLinear,
+    spec: ConvSpec,
+}
+
+impl QuantConv2d {
+    /// Quantizes a float convolution.
+    pub fn quantize(conv: &Conv2d) -> Self {
+        let as_linear = Linear::from_parts(conv.weight().clone(), conv.bias().to_vec());
+        Self { matrix: QuantLinear::quantize(&as_linear), spec: *conv.spec() }
+    }
+
+    /// The spatial specification.
+    pub fn spec(&self) -> &ConvSpec {
+        &self.spec
+    }
+
+    /// The quantized kernel matrix `(out_c, in_c·k·k)`.
+    pub fn matrix(&self) -> &QuantLinear {
+        &self.matrix
+    }
+
+    /// Mutable quantized kernel matrix.
+    pub fn matrix_mut(&mut self) -> &mut QuantLinear {
+        &mut self.matrix
+    }
+
+    /// Dequantizes to a float convolution.
+    pub fn dequantize(&self) -> Conv2d {
+        let linear = self.matrix.dequantize();
+        Conv2d::from_parts(linear.weight().clone(), linear.bias().to_vec(), self.spec)
+    }
+}
+
+/// One step of a [`QuantNetwork`]'s execution plan — the quantized
+/// mirror of [`Layer`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QuantLayer {
+    /// A quantized fully-connected layer.
+    Dense(QuantLinear),
+    /// A quantized convolution.
+    Conv(QuantConv2d),
+    /// Element-wise ReLU.
+    Relu,
+    /// 2-D max pooling.
+    MaxPool(Pool2d),
+    /// 2-D average pooling.
+    AvgPool(Pool2d),
+    /// Residual shortcut marker.
+    SkipStart,
+    /// Residual add marker.
+    SkipAdd,
+}
+
+impl QuantLayer {
+    /// Whether this layer carries attackable weights.
+    pub fn is_weighted(&self) -> bool {
+        matches!(self, QuantLayer::Dense(_) | QuantLayer::Conv(_))
+    }
+
+    /// The quantized weight matrix of a weighted layer — the dense
+    /// matrix itself, or a conv's im2col kernel matrix.
+    pub fn matrix(&self) -> Option<&QuantLinear> {
+        match self {
+            QuantLayer::Dense(q) => Some(q),
+            QuantLayer::Conv(c) => Some(c.matrix()),
+            _ => None,
+        }
+    }
+
+    /// Mutable quantized weight matrix of a weighted layer.
+    pub fn matrix_mut(&mut self) -> Option<&mut QuantLinear> {
+        match self {
+            QuantLayer::Dense(q) => Some(q),
+            QuantLayer::Conv(c) => Some(c.matrix_mut()),
+            _ => None,
+        }
+    }
+
+    /// Number of quantized weights (0 for structure layers).
+    pub fn num_weights(&self) -> usize {
+        self.matrix().map_or(0, QuantLinear::num_weights)
+    }
+
+    /// Quantization scale (1.0 for structure layers).
+    pub fn scale(&self) -> f32 {
+        self.matrix().map_or(1.0, QuantLinear::scale)
+    }
+
+    fn quantize(layer: &Layer) -> Self {
+        match layer {
+            Layer::Dense(l) => QuantLayer::Dense(QuantLinear::quantize(l)),
+            Layer::Conv(c) => QuantLayer::Conv(QuantConv2d::quantize(c)),
+            Layer::Relu => QuantLayer::Relu,
+            Layer::MaxPool(p) => QuantLayer::MaxPool(*p),
+            Layer::AvgPool(p) => QuantLayer::AvgPool(*p),
+            Layer::SkipStart => QuantLayer::SkipStart,
+            Layer::SkipAdd => QuantLayer::SkipAdd,
+        }
+    }
+
+    fn dequantize(&self) -> Layer {
+        match self {
+            QuantLayer::Dense(q) => Layer::Dense(q.dequantize()),
+            QuantLayer::Conv(c) => Layer::Conv(c.dequantize()),
+            QuantLayer::Relu => Layer::Relu,
+            QuantLayer::MaxPool(p) => Layer::MaxPool(*p),
+            QuantLayer::AvgPool(p) => Layer::AvgPool(*p),
+            QuantLayer::SkipStart => Layer::SkipStart,
+            QuantLayer::SkipAdd => Layer::SkipAdd,
+        }
+    }
+}
+
 /// The quantized inference network — BFA's attack surface.
 ///
 /// # Example
@@ -125,34 +252,57 @@ impl QuantLinear {
 /// let model = Mlp::new(&[4, 8, 2], 3);
 /// let mut quantized = QuantizedMlp::quantize(&model);
 /// let bit = BitIndex { layer: 0, weight: 0, bit: 7 };
-/// let before = quantized.layers()[0].qweights()[0];
+/// let before = quantized.bit(bit).unwrap();
 /// quantized.flip_bit(bit).unwrap();
-/// assert_ne!(quantized.layers()[0].qweights()[0], before);
+/// assert_ne!(quantized.bit(bit).unwrap(), before);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct QuantizedMlp {
-    layers: Vec<QuantLinear>,
+pub struct QuantNetwork {
+    layers: Vec<QuantLayer>,
 }
 
-impl QuantizedMlp {
-    /// Quantizes every layer of a float model.
-    pub fn quantize(model: &Mlp) -> Self {
-        Self { layers: model.layers().iter().map(QuantLinear::quantize).collect() }
+/// The historical name of the quantized network, kept because every
+/// call site grew up on the all-dense substrate. A `QuantizedMlp` can
+/// hold convolutions and residual skips since the CNN subsystem landed.
+pub type QuantizedMlp = QuantNetwork;
+
+impl QuantNetwork {
+    /// Quantizes every layer of a float model ([`Mlp`] or [`Network`],
+    /// by reference).
+    pub fn quantize(model: impl Into<Network>) -> Self {
+        let network: Network = model.into();
+        Self { layers: network.layers().iter().map(QuantLayer::quantize).collect() }
     }
 
-    /// The layers.
-    pub fn layers(&self) -> &[QuantLinear] {
+    /// The full execution plan, including structure layers.
+    pub fn layers(&self) -> &[QuantLayer] {
         &self.layers
     }
 
-    /// Mutable layers.
-    pub fn layers_mut(&mut self) -> &mut [QuantLinear] {
+    /// Mutable execution plan.
+    pub fn layers_mut(&mut self) -> &mut [QuantLayer] {
         &mut self.layers
+    }
+
+    /// The weighted layers in execution order — the list
+    /// [`BitIndex::layer`] indexes.
+    pub fn weighted_layers(&self) -> Vec<&QuantLayer> {
+        self.layers.iter().filter(|l| l.is_weighted()).collect()
+    }
+
+    /// Mutable weighted layers in execution order.
+    pub fn weighted_layers_mut(&mut self) -> Vec<&mut QuantLayer> {
+        self.layers.iter_mut().filter(|l| l.is_weighted()).collect()
+    }
+
+    /// Number of weighted layers.
+    pub fn weighted_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.is_weighted()).count()
     }
 
     /// Total quantized weights.
     pub fn total_weights(&self) -> usize {
-        self.layers.iter().map(QuantLinear::num_weights).sum()
+        self.layers.iter().map(QuantLayer::num_weights).sum()
     }
 
     /// Total weight bits (8 per weight).
@@ -160,39 +310,25 @@ impl QuantizedMlp {
         self.total_weights() * 8
     }
 
-    /// Reconstructs the float model implied by current (possibly
+    /// Reconstructs the float network implied by current (possibly
     /// corrupted) quantized weights.
-    pub fn to_float_model(&self) -> Mlp {
-        let mut model = Mlp::new(
-            &self.shape_sizes(),
-            0, // weights are overwritten below
-        );
-        for (dst, src) in model.layers_mut().iter_mut().zip(&self.layers) {
-            *dst = src.dequantize();
-        }
-        model
+    pub fn to_float_model(&self) -> Network {
+        Network::new(self.layers.iter().map(QuantLayer::dequantize).collect())
     }
 
-    fn shape_sizes(&self) -> Vec<usize> {
-        let mut sizes = vec![self.layers[0].in_features()];
-        sizes.extend(self.layers.iter().map(QuantLinear::out_features));
-        sizes
+    /// Reconstructs an [`Mlp`] when the plan is the all-dense MLP
+    /// shape; `None` for CNNs.
+    pub fn to_mlp(&self) -> Option<Mlp> {
+        self.to_float_model().as_mlp()
     }
 
-    /// Forward pass to logits.
+    /// Forward pass to logits (dequantized execution).
     ///
     /// # Errors
     ///
     /// Returns [`DnnError::ShapeMismatch`] on wrong input width.
     pub fn forward(&self, x: &Tensor) -> Result<Tensor, DnnError> {
-        let mut activation = x.clone();
-        for (index, layer) in self.layers.iter().enumerate() {
-            activation = layer.forward(&activation)?;
-            if index + 1 < self.layers.len() {
-                activation.relu_inplace();
-            }
-        }
-        Ok(activation)
+        self.to_float_model().forward(x)
     }
 
     /// Classification accuracy.
@@ -207,8 +343,10 @@ impl QuantizedMlp {
         Ok(correct as f64 / labels.len().max(1) as f64)
     }
 
-    /// Mean loss and per-layer gradients w.r.t. the *dequantized*
-    /// weights — the ranking signal of progressive bit search.
+    /// Mean loss and per-weighted-layer gradients w.r.t. the
+    /// *dequantized* weights — the ranking signal of progressive bit
+    /// search. `grads[i].weight[j]` aligns with
+    /// `BitIndex { layer: i, weight: j, .. }`.
     ///
     /// # Errors
     ///
@@ -217,8 +355,17 @@ impl QuantizedMlp {
         &self,
         x: &Tensor,
         labels: &[usize],
-    ) -> Result<(f32, Vec<LinearGrads>), DnnError> {
+    ) -> Result<(f32, Vec<LayerGrads>), DnnError> {
         self.to_float_model().loss_and_grads(x, labels)
+    }
+
+    /// The weighted layer at [`BitIndex::layer`] position `index`.
+    fn weighted(&self, index: usize) -> Option<&QuantLinear> {
+        self.layers.iter().filter(|l| l.is_weighted()).nth(index)?.matrix()
+    }
+
+    fn weighted_mut(&mut self, index: usize) -> Option<&mut QuantLinear> {
+        self.layers.iter_mut().filter(|l| l.is_weighted()).nth(index)?.matrix_mut()
     }
 
     /// Reads one weight bit.
@@ -228,8 +375,7 @@ impl QuantizedMlp {
     /// Returns [`DnnError::BadWeightIndex`] for out-of-range indices.
     pub fn bit(&self, index: BitIndex) -> Result<bool, DnnError> {
         let byte = self
-            .layers
-            .get(index.layer)
+            .weighted(index.layer)
             .and_then(|l| l.weight_byte(index.weight))
             .ok_or(DnnError::BadWeightIndex { layer: index.layer, index: index.weight })?;
         Ok(byte >> (index.bit & 7) & 1 == 1)
@@ -242,8 +388,7 @@ impl QuantizedMlp {
     /// Returns [`DnnError::BadWeightIndex`] for out-of-range indices.
     pub fn flip_bit(&mut self, index: BitIndex) -> Result<bool, DnnError> {
         let layer = self
-            .layers
-            .get_mut(index.layer)
+            .weighted_mut(index.layer)
             .ok_or(DnnError::BadWeightIndex { layer: index.layer, index: index.weight })?;
         let byte = layer
             .weight_byte(index.weight)
@@ -261,8 +406,7 @@ impl QuantizedMlp {
     /// Returns [`DnnError::BadWeightIndex`] for out-of-range indices.
     pub fn flip_delta(&self, index: BitIndex) -> Result<f32, DnnError> {
         let layer = self
-            .layers
-            .get(index.layer)
+            .weighted(index.layer)
             .ok_or(DnnError::BadWeightIndex { layer: index.layer, index: index.weight })?;
         let byte = layer
             .weight_byte(index.weight)
@@ -272,10 +416,14 @@ impl QuantizedMlp {
         Ok((after - before) * layer.scale())
     }
 
-    /// Concatenated raw weight bytes of all layers (two's complement) —
-    /// the image deployed into DRAM.
+    /// Concatenated raw weight bytes of all weighted layers (two's
+    /// complement) — the image deployed into DRAM.
     pub fn weight_bytes(&self) -> Vec<u8> {
-        self.layers.iter().flat_map(|l| l.qweights().iter().map(|&q| q as u8)).collect()
+        self.layers
+            .iter()
+            .filter_map(QuantLayer::matrix)
+            .flat_map(|l| l.qweights().iter().map(|&q| q as u8))
+            .collect()
     }
 
     /// Overwrites all weights from a concatenated byte image.
@@ -293,7 +441,7 @@ impl QuantizedMlp {
             });
         }
         let mut offset = 0;
-        for layer in &mut self.layers {
+        for layer in self.layers.iter_mut().filter_map(QuantLayer::matrix_mut) {
             for index in 0..layer.num_weights() {
                 layer.set_weight_byte(index, bytes[offset + index]);
             }
@@ -302,11 +450,11 @@ impl QuantizedMlp {
         Ok(())
     }
 
-    /// Locates a flat byte offset (into [`QuantizedMlp::weight_bytes`])
-    /// as a `(layer, weight)` pair.
+    /// Locates a flat byte offset (into [`QuantNetwork::weight_bytes`])
+    /// as a `(weighted-layer, weight)` pair.
     pub fn locate_byte(&self, offset: usize) -> Option<(usize, usize)> {
         let mut base = 0;
-        for (layer_index, layer) in self.layers.iter().enumerate() {
+        for (layer_index, layer) in self.layers.iter().filter(|l| l.is_weighted()).enumerate() {
             if offset < base + layer.num_weights() {
                 return Some((layer_index, offset - base));
             }
@@ -315,12 +463,13 @@ impl QuantizedMlp {
         None
     }
 
-    /// Inverse of [`QuantizedMlp::locate_byte`].
+    /// Inverse of [`QuantNetwork::locate_byte`].
     pub fn byte_offset(&self, layer: usize, weight: usize) -> Option<usize> {
-        if layer >= self.layers.len() || weight >= self.layers[layer].num_weights() {
+        let weighted = self.weighted_layers();
+        if layer >= weighted.len() || weight >= weighted[layer].num_weights() {
             return None;
         }
-        let base: usize = self.layers[..layer].iter().map(QuantLinear::num_weights).sum();
+        let base: usize = weighted[..layer].iter().map(|l| l.num_weights()).sum();
         Some(base + weight)
     }
 }
@@ -328,17 +477,31 @@ impl QuantizedMlp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::Network;
 
     fn model() -> Mlp {
         Mlp::new(&[4, 6, 3], 17)
+    }
+
+    fn cnn() -> Network {
+        let spec = ConvSpec { in_c: 1, in_h: 4, in_w: 4, out_c: 2, k: 3, stride: 1, pad: 1 };
+        Network::new(vec![
+            Layer::Conv(Conv2d::new(spec, 4)),
+            Layer::Relu,
+            Layer::SkipStart,
+            Layer::Conv(Conv2d::new(ConvSpec { in_c: 2, out_c: 2, ..spec }, 5)),
+            Layer::SkipAdd,
+            Layer::MaxPool(Pool2d::halve(2, 4, 4)),
+            Layer::Dense(Linear::new(8, 3, 6)),
+        ])
     }
 
     #[test]
     fn quantization_error_is_bounded() {
         let float_model = model();
         let quantized = QuantizedMlp::quantize(&float_model);
-        for (fl, ql) in float_model.layers().iter().zip(quantized.layers()) {
-            let deq = ql.dequantize();
+        for (fl, ql) in float_model.layers().iter().zip(quantized.weighted_layers()) {
+            let deq = ql.matrix().unwrap().dequantize();
             for (a, b) in fl.weight().as_slice().iter().zip(deq.weight().as_slice()) {
                 assert!((a - b).abs() <= ql.scale() / 2.0 + 1e-6);
             }
@@ -420,6 +583,67 @@ mod tests {
         let b = float_model.forward(&x).unwrap();
         for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
             assert!((p - q).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mlp_bit_indices_are_unchanged_by_the_generalization() {
+        // The historical contract: for an MLP, BitIndex.layer is the
+        // linear-layer position, despite the interleaved ReLUs in the
+        // flat plan.
+        let quantized = QuantizedMlp::quantize(&model());
+        assert_eq!(quantized.layers().len(), 3); // Dense Relu Dense
+        assert_eq!(quantized.weighted_count(), 2);
+        assert_eq!(quantized.locate_byte(0), Some((0, 0)));
+        assert_eq!(quantized.locate_byte(4 * 6), Some((1, 0)));
+        // The dequantized network still round-trips as an MLP, and
+        // re-quantizing it is a fixed point.
+        let mlp = quantized.to_mlp().unwrap();
+        assert_eq!(mlp.num_layers(), 2);
+        assert_eq!(QuantizedMlp::quantize(&mlp), quantized);
+    }
+
+    #[test]
+    fn cnn_quantizes_and_round_trips() {
+        let network = cnn();
+        let quantized = QuantNetwork::quantize(&network);
+        assert_eq!(quantized.weighted_count(), 3);
+        assert_eq!(quantized.total_weights(), network.total_weights());
+        assert!(quantized.to_mlp().is_none());
+        // Quantized forward tracks the float network closely.
+        let x = Tensor::randn(8, 16, 9);
+        let fl = network.forward(&x).unwrap();
+        let ql = quantized.forward(&x).unwrap();
+        let agree =
+            argmax_rows(&fl).iter().zip(argmax_rows(&ql)).filter(|(a, b)| **a == *b).count();
+        assert!(agree >= 7, "{agree}/8");
+    }
+
+    #[test]
+    fn conv_kernel_bits_are_flippable() {
+        let mut quantized = QuantNetwork::quantize(cnn());
+        // Weighted layer 1 is the residual conv: flip its first MSB.
+        let bit = BitIndex { layer: 1, weight: 0, bit: 7 };
+        let before = quantized.weighted_layers()[1].matrix().unwrap().weight_byte(0).unwrap();
+        quantized.flip_bit(bit).unwrap();
+        let after = quantized.weighted_layers()[1].matrix().unwrap().weight_byte(0).unwrap();
+        assert_eq!(before ^ after, 0x80);
+        // And the byte image sees the same flip at the right offset.
+        let offset = quantized.byte_offset(1, 0).unwrap();
+        assert_eq!(quantized.weight_bytes()[offset], after);
+        let delta = quantized.flip_delta(bit).unwrap();
+        assert!(delta.abs() > quantized.flip_delta(BitIndex { bit: 0, ..bit }).unwrap().abs());
+    }
+
+    #[test]
+    fn cnn_grads_align_with_bit_indices() {
+        let quantized = QuantNetwork::quantize(cnn());
+        let x = Tensor::randn(6, 16, 10);
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        let (_, grads) = quantized.loss_and_grads(&x, &labels).unwrap();
+        assert_eq!(grads.len(), quantized.weighted_count());
+        for (grad, layer) in grads.iter().zip(quantized.weighted_layers()) {
+            assert_eq!(grad.weight.len(), layer.num_weights());
         }
     }
 }

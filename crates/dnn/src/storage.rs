@@ -15,7 +15,7 @@
 //!   neighbours?" — [`WeightLayout::rows_spanned`].
 
 use dlk_dram::{DramDevice, RowAddr};
-use dlk_memctrl::AddressMapper;
+use dlk_memctrl::{AddressMapper, Trace, TraceOp};
 
 use crate::error::DnnError;
 use crate::quant::{BitIndex, QuantizedMlp};
@@ -141,6 +141,42 @@ impl WeightLayout {
         (self.base_phys, self.base_phys + self.required_bytes(model))
     }
 
+    /// The weight-fetch trace of `batches` inference passes: the read
+    /// stream a victim process issues to pull the whole weight image
+    /// through the memory controller, `chunk` bytes per request,
+    /// split at DRAM row boundaries. Replaying this trace through a
+    /// sharded engine is how model inference drives the multi-channel
+    /// pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the image exceeds DRAM capacity.
+    pub fn fetch_trace(
+        &self,
+        model: &QuantizedMlp,
+        batches: usize,
+        chunk: usize,
+    ) -> Result<Trace, DnnError> {
+        let total = self.required_bytes(model);
+        let row_bytes = self.mapper.geometry().row_bytes as u64;
+        let chunk = chunk.max(1) as u64;
+        let mut trace = Trace::new();
+        for _ in 0..batches {
+            let mut offset = 0u64;
+            while offset < total {
+                let phys = self.base_phys + offset;
+                let (_, col) = self.mapper.to_dram(phys).map_err(|_| DnnError::RegionTooSmall {
+                    needed: self.base_phys + total,
+                    available: self.mapper.capacity(),
+                })?;
+                let take = chunk.min(total - offset).min(row_bytes - col as u64);
+                trace.push(TraceOp::Read { addr: phys, len: take as usize });
+                offset += take;
+            }
+        }
+        Ok(trace)
+    }
+
     /// Writes the model's weight bytes into DRAM (functional writes —
     /// deployment happens once, off the timed path).
     ///
@@ -224,11 +260,11 @@ mod tests {
         layout.load(&mut corrupted, &dram).unwrap();
         // Exactly the targeted weight changed, by the sign bit.
         assert_eq!(corrupted.bit(target).unwrap(), !model.bit(target).unwrap());
-        let byte_before = model.layers()[1].weight_byte(7).unwrap();
-        let byte_after = corrupted.layers()[1].weight_byte(7).unwrap();
+        let byte_before = model.weighted_layers()[1].matrix().unwrap().weight_byte(7).unwrap();
+        let byte_after = corrupted.weighted_layers()[1].matrix().unwrap().weight_byte(7).unwrap();
         assert_eq!(byte_before ^ byte_after, 0x80);
         // All other layers untouched.
-        assert_eq!(corrupted.layers()[0], model.layers()[0]);
+        assert_eq!(corrupted.weighted_layers()[0], model.weighted_layers()[0]);
     }
 
     #[test]
@@ -258,6 +294,61 @@ mod tests {
         let mapper = AddressMapper::new(*dram.geometry(), MappingScheme::BankSequential);
         let layout = WeightLayout::new(mapper.capacity() - 4, mapper);
         assert!(matches!(layout.deploy(&model, &mut dram), Err(DnnError::RegionTooSmall { .. })));
+    }
+
+    #[test]
+    fn conv_kernel_flip_roundtrips_through_dram() {
+        // The satellite acceptance: quantize → store → flip a conv
+        // kernel bit in DRAM → dequantize sees exactly that change.
+        let mut dram = DramDevice::new(DramConfig::tiny_for_tests());
+        let mapper = AddressMapper::new(*dram.geometry(), MappingScheme::BankSequential);
+        let model = QuantizedMlp::quantize(models::tiny_cnn(7));
+        assert!(model.to_mlp().is_none(), "victim must be a real CNN");
+        let layout = WeightLayout::new(64, mapper);
+        layout.deploy(&model, &mut dram).unwrap();
+
+        // Weighted layer 1 is the first residual conv; flip its MSB.
+        let target = BitIndex { layer: 1, weight: 3, bit: 7 };
+        let (row, bit) = layout.bit_location(&model, target).unwrap();
+        dram.flip_bit(row, bit).unwrap();
+
+        let mut corrupted = model.clone();
+        layout.load(&mut corrupted, &dram).unwrap();
+        assert_eq!(corrupted.bit(target).unwrap(), !model.bit(target).unwrap());
+        let offset = model.byte_offset(target.layer, target.weight).unwrap();
+        for (i, (a, b)) in model.weight_bytes().iter().zip(corrupted.weight_bytes()).enumerate() {
+            if i == offset {
+                assert_eq!(a ^ b, 0x80, "targeted byte flips its sign bit");
+            } else {
+                assert_eq!(*a, b, "byte {i} must be untouched");
+            }
+        }
+        // The dequantized kernel moved by exactly the sign-bit delta.
+        let delta = model.flip_delta(target).unwrap();
+        let before = model.to_float_model();
+        let after = corrupted.to_float_model();
+        let w = |net: &crate::network::Network| {
+            net.weighted_layers()[target.layer].weight().unwrap().as_slice()[target.weight]
+        };
+        assert!((w(&after) - w(&before) - delta).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fetch_trace_covers_the_image_in_row_safe_chunks() {
+        let (_, layout, model) = setup();
+        let trace = layout.fetch_trace(&model, 2, 24).unwrap();
+        let row_bytes = 64u64;
+        let mut per_batch = 0u64;
+        for op in trace.ops() {
+            let dlk_memctrl::TraceOp::Read { addr, len } = op else {
+                panic!("fetch trace only reads")
+            };
+            assert!(*len <= 24);
+            assert_eq!((addr % row_bytes + *len as u64 - 1) / row_bytes, 0, "no row spans");
+            per_batch += *len as u64;
+        }
+        assert_eq!(per_batch, 2 * layout.required_bytes(&model));
+        assert_eq!(trace.ops()[0], dlk_memctrl::TraceOp::Read { addr: 128, len: 24 });
     }
 
     #[test]

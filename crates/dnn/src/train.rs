@@ -3,8 +3,48 @@
 use serde::{Deserialize, Serialize};
 
 use crate::data::SyntheticDataset;
+use crate::error::DnnError;
 use crate::model::Mlp;
+use crate::network::Network;
 use crate::tensor::Tensor;
+
+/// A model the SGD [`Trainer`] can fit: anything with a batched
+/// train step and an accuracy probe ([`Mlp`] and [`Network`]).
+pub trait Trainable {
+    /// One SGD step on a batch; returns the pre-update loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] on inconsistent shapes.
+    fn train_step(&mut self, x: &Tensor, labels: &[usize], lr: f32) -> Result<f32, DnnError>;
+
+    /// Classification accuracy on `(x, labels)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] on wrong input width.
+    fn accuracy(&self, x: &Tensor, labels: &[usize]) -> Result<f64, DnnError>;
+}
+
+impl Trainable for Mlp {
+    fn train_step(&mut self, x: &Tensor, labels: &[usize], lr: f32) -> Result<f32, DnnError> {
+        Mlp::train_step(self, x, labels, lr)
+    }
+
+    fn accuracy(&self, x: &Tensor, labels: &[usize]) -> Result<f64, DnnError> {
+        Mlp::accuracy(self, x, labels)
+    }
+}
+
+impl Trainable for Network {
+    fn train_step(&mut self, x: &Tensor, labels: &[usize], lr: f32) -> Result<f32, DnnError> {
+        Network::train_step(self, x, labels, lr)
+    }
+
+    fn accuracy(&self, x: &Tensor, labels: &[usize]) -> Result<f64, DnnError> {
+        Network::accuracy(self, x, labels)
+    }
+}
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -78,7 +118,7 @@ impl Trainer {
     /// Batches are taken in a fixed round-robin order (the dataset
     /// generator already interleaves classes), keeping training fully
     /// deterministic.
-    pub fn fit(&self, model: &mut Mlp, dataset: &SyntheticDataset) -> TrainReport {
+    pub fn fit<M: Trainable>(&self, model: &mut M, dataset: &SyntheticDataset) -> TrainReport {
         let n = dataset.train_x.rows();
         let dim = dataset.dim;
         let batch = self.config.batch_size.max(1).min(n);

@@ -50,9 +50,9 @@ proptest! {
     fn quantization_idempotent(seed in 0u64..64) {
         let model = models::tiny_mlp(seed);
         let q1 = QuantizedMlp::quantize(&model);
-        let q2 = QuantizedMlp::quantize(&q1.to_float_model());
-        for (a, b) in q1.layers().iter().zip(q2.layers()) {
-            prop_assert_eq!(a.qweights(), b.qweights());
+        let q2 = QuantizedMlp::quantize(q1.to_float_model());
+        for (a, b) in q1.weighted_layers().iter().zip(q2.weighted_layers()) {
+            prop_assert_eq!(a.matrix().unwrap().qweights(), b.matrix().unwrap().qweights());
         }
     }
 
@@ -84,10 +84,13 @@ proptest! {
             return Ok(());
         };
         let index = dlk_dnn::BitIndex { layer, weight, bit };
-        let before = quantized.layers()[layer].dequantize().weight().as_slice()[weight];
+        let weight_of = |q: &QuantizedMlp| {
+            q.weighted_layers()[layer].matrix().unwrap().dequantize().weight().as_slice()[weight]
+        };
+        let before = weight_of(&quantized);
         let predicted = quantized.flip_delta(index).unwrap();
         quantized.flip_bit(index).unwrap();
-        let after = quantized.layers()[layer].dequantize().weight().as_slice()[weight];
+        let after = weight_of(&quantized);
         prop_assert!(((after - before) - predicted).abs() < 1e-4);
     }
 }

@@ -58,6 +58,19 @@ impl DramConfig {
             auto_refresh: false,
         }
     }
+
+    /// The DDR4 datasheet configuration: [`TimingParams::ddr4`] paired
+    /// with [`EnergyModel::ddr4`] on the default scaled geometry.
+    pub fn ddr4() -> Self {
+        Self { timing: TimingParams::ddr4(), energy: EnergyModel::ddr4(), ..Self::default() }
+    }
+
+    /// The LPDDR4 datasheet configuration: [`TimingParams::lpddr4`]
+    /// paired with [`EnergyModel::lpddr4`] on the default scaled
+    /// geometry.
+    pub fn lpddr4() -> Self {
+        Self { timing: TimingParams::lpddr4(), energy: EnergyModel::lpddr4(), ..Self::default() }
+    }
 }
 
 /// A command-level DRAM device model.

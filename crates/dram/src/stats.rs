@@ -53,6 +53,52 @@ impl Default for EnergyModel {
 }
 
 impl EnergyModel {
+    /// The DDR4 datasheet preset.
+    ///
+    /// Per-command energies derived with the Micron DDR4 power
+    /// calculator methodology (`E = VDD · ΔIDD · t`) from the Micron
+    /// MT40A1G8 DDR4-2400 datasheet at VDD = 1.2 V: one ACT–PRE cycle
+    /// draws IDD0 − IDD3N ≈ 13 mA over tRC = 45.3 ns ≈ 0.7 nJ,
+    /// apportioned ~60/40 between activation and precharge; a column
+    /// read/write burst draws IDD4R/IDD4W − IDD3N ≈ 100/90 mA over
+    /// 8 × tCK ≈ 6.7 ns plus I/O termination; one all-bank REF draws
+    /// IDD5B − IDD3N ≈ 145 mA over tRFC = 350 ns ≈ 61 nJ spread over
+    /// 8192 rows per tREFI tick ≈ 21 nJ per REF command at this scaled
+    /// geometry; background power IDD3N ≈ 50 mA → 0.05 pJ/cycle
+    /// per-bank share at 1.2 GHz.
+    pub fn ddr4() -> Self {
+        Self {
+            act_pj: 420.0,
+            pre_pj: 280.0,
+            rd_pj: 800.0,
+            wr_pj: 720.0,
+            ref_pj: 21_000.0,
+            aap_pj: 640.0, // two back-to-back ACTs, no I/O power
+            static_pj_per_cycle: 0.05,
+        }
+    }
+
+    /// The LPDDR4 datasheet preset.
+    ///
+    /// Same methodology from the Micron MT53B LPDDR4-3200 datasheet at
+    /// VDD2 = 1.1 V / VDDQ = 0.6 V: mobile parts cut array voltage and
+    /// especially I/O swing, so core operations cost ~30% less than
+    /// DDR4 and read/write bursts less than half (sub-LVSTL signaling
+    /// instead of POD12 termination); refresh is cheaper per command
+    /// but issued twice as often (tREFW = 32 ms); deep power-down
+    /// background current is an order of magnitude lower.
+    pub fn lpddr4() -> Self {
+        Self {
+            act_pj: 300.0,
+            pre_pj: 200.0,
+            rd_pj: 350.0,
+            wr_pj: 320.0,
+            ref_pj: 14_000.0,
+            aap_pj: 460.0,
+            static_pj_per_cycle: 0.008,
+        }
+    }
+
     /// Energy in picojoules for one command of the given kind.
     pub fn energy_pj(&self, kind: CommandKind) -> f64 {
         match kind {
@@ -150,6 +196,28 @@ mod tests {
         stats.record(CommandKind::Act, 0.0);
         stats.record(CommandKind::Aap, 0.0);
         assert_eq!(stats.total_activations(), 3);
+    }
+
+    #[test]
+    fn lpddr4_is_cheaper_than_ddr4_per_command() {
+        // The point of a mobile part: every operation, and especially
+        // I/O (reads/writes) and background power, costs less.
+        let (d, l) = (EnergyModel::ddr4(), EnergyModel::lpddr4());
+        for kind in [
+            CommandKind::Act,
+            CommandKind::Pre,
+            CommandKind::Rd,
+            CommandKind::Wr,
+            CommandKind::Ref,
+            CommandKind::Aap,
+        ] {
+            assert!(l.energy_pj(kind) < d.energy_pj(kind), "{kind:?}");
+        }
+        assert!(l.static_pj_per_cycle < d.static_pj_per_cycle / 5.0);
+        // LPDDR4's I/O saving is disproportionate: bursts cost less
+        // than half, while core ops save ~30%.
+        assert!(l.rd_pj < d.rd_pj / 2.0);
+        assert!(l.act_pj > d.act_pj / 2.0);
     }
 
     #[test]

@@ -109,6 +109,30 @@ impl TimingParams {
         }
     }
 
+    /// The canonical DDR4 datasheet preset (DDR4-2400, 1.2 GHz clock).
+    ///
+    /// Constants follow JEDEC JESD79-4B speed bin DDR4-2400R and the
+    /// Micron MT40A1G8 (8 Gb, x8) datasheet: tRCD = tRP = 13.32 ns
+    /// (16 cycles), tRAS = 32 ns (39), CL = 16, tWR = 15 ns (18),
+    /// tREFI = 7.8 µs (9360), tRFC = 350 ns (420), tREFW = 64 ms,
+    /// tFAW = 21 ns (26), tRRD_L = 4.9 ns (6), tCCD_L = 4.
+    pub fn ddr4() -> Self {
+        Self::ddr4_2400()
+    }
+
+    /// The canonical LPDDR4 datasheet preset (LPDDR4-3200, 1.6 GHz
+    /// clock).
+    ///
+    /// Constants follow JEDEC JESD209-4B and the Micron MT53B (8 Gb
+    /// per channel) datasheet: tRCD = 18 ns (29 cycles), tRPpb = 18 ns
+    /// (29), tRAS = 42 ns (67), RL = 28, tWR = 20 ns (32), tREFI ≈
+    /// 3.9 µs (6248), tRFCab = 280 ns (448), tREFW = 32 ms (LPDDR4
+    /// refreshes a bank group twice as often as DDR4 at standard
+    /// temperature), tFAW = 40 ns (64), tRRD = 10 ns (16), tCCD = 8.
+    pub fn lpddr4() -> Self {
+        Self::lpddr4_3200()
+    }
+
     /// Nanoseconds per clock cycle.
     pub fn cycle_ns(&self) -> f64 {
         1.0 / self.clock_ghz
@@ -180,6 +204,20 @@ mod tests {
     fn presets_are_distinct() {
         assert_ne!(TimingParams::ddr3_1600(), TimingParams::ddr4_2400());
         assert_ne!(TimingParams::ddr4_2400(), TimingParams::lpddr4_3200());
+    }
+
+    #[test]
+    fn datasheet_presets_match_their_speed_grades() {
+        assert_eq!(TimingParams::ddr4(), TimingParams::ddr4_2400());
+        assert_eq!(TimingParams::lpddr4(), TimingParams::lpddr4_3200());
+        // The cited nanosecond values survive the cycle conversion.
+        let d = TimingParams::ddr4();
+        assert!((d.cycles_to_ns(d.trcd) - 13.32).abs() < 0.02);
+        assert!((d.cycles_to_ns(d.trfc) - 350.0).abs() < 1.0);
+        let l = TimingParams::lpddr4();
+        assert!((l.cycles_to_ns(l.trcd) - 18.0).abs() < 0.2);
+        // LPDDR4 halves the refresh window (32 ms vs DDR4's 64 ms).
+        assert!((l.cycles_to_s(l.trefw) * 1e3 - 32.0).abs() < 0.1);
     }
 
     #[test]

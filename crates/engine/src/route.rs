@@ -18,7 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dlk_memctrl::AddressMapper;
+use dlk_memctrl::{AddressMapper, Trace, TraceOp};
 
 use crate::error::EngineError;
 
@@ -108,6 +108,33 @@ impl ChannelRouter {
         let global_row = local_row * self.channels + channel as u64;
         Ok(global_row * self.row_bytes + offset)
     }
+
+    /// Lifts a *shard-local* trace (e.g. a victim's weight-fetch
+    /// stream recorded against its home device) into the global
+    /// address space, homing every access on `channel`. Replaying the
+    /// result through the engine routes each access back to exactly
+    /// the local addresses the trace named.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadChannel`] for a channel index outside
+    /// the configured width.
+    pub fn globalize_trace(&self, trace: &Trace, channel: usize) -> Result<Trace, EngineError> {
+        let mut global = Trace::new();
+        global.untrusted = trace.untrusted;
+        for op in trace.ops() {
+            global.push(match op {
+                TraceOp::Read { addr, len } => {
+                    TraceOp::Read { addr: self.to_global(channel, *addr)?, len: *len }
+                }
+                TraceOp::Write { addr, payload } => TraceOp::Write {
+                    addr: self.to_global(channel, *addr)?,
+                    payload: payload.clone(),
+                },
+            });
+        }
+        Ok(global)
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +178,25 @@ mod tests {
         let row_bytes = 64u64;
         let channels: Vec<usize> = (0..8).map(|row| router.channel_of(row * row_bytes)).collect();
         assert_eq!(channels, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn globalized_trace_routes_back_to_its_local_addresses() {
+        use dlk_memctrl::{Trace, TraceOp};
+        let router = router(2);
+        let mut local = Trace::sequential_reads(64, 64, 8, 4);
+        local.untrusted = true;
+        let global = router.globalize_trace(&local, 1).unwrap();
+        assert!(global.untrusted);
+        for (g, l) in global.ops().iter().zip(local.ops()) {
+            let (TraceOp::Read { addr: ga, len: gl }, TraceOp::Read { addr: la, len: ll }) = (g, l)
+            else {
+                panic!("reads only")
+            };
+            assert_eq!(gl, ll);
+            assert_eq!(router.to_local(*ga), (1, *la));
+        }
+        assert!(router.globalize_trace(&local, 2).is_err());
     }
 
     #[test]

@@ -280,6 +280,71 @@ impl MemoryController {
         if col + request.len > self.geometry().row_bytes {
             return Err(MemCtrlError::SpansRowBoundary { addr: request.addr, len: request.len });
         }
+        self.service_mapped(request, row, col)
+    }
+
+    /// Serves a slice of requests in one pass, bypassing the queue —
+    /// the batched fast path for dense request streams (e.g. a CNN
+    /// weight fetch). Behaviourally identical to calling
+    /// [`MemoryController::service`] per request — same completions,
+    /// same statistics, same device state — but every address is
+    /// mapped and validated up front, so a malformed request is
+    /// rejected *before* any request of the batch touches the device,
+    /// and the per-request dispatch overhead is paid once.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unmappable addresses or row-spanning
+    /// requests; the controller and device are unchanged in that case.
+    pub fn service_batch(
+        &mut self,
+        requests: &[MemRequest],
+    ) -> Result<Vec<CompletedRequest>, MemCtrlError> {
+        let row_bytes = self.geometry().row_bytes;
+        // OS-faulting requests never reach the device, so (exactly as
+        // in `service`) their addresses are not validated — only the
+        // requests that will actually be serviced are mapped up front.
+        let mut mapped = Vec::with_capacity(requests.len());
+        for request in requests {
+            if self.os_faults(request) {
+                mapped.push(None);
+                continue;
+            }
+            let (row, col) = self.mapper.to_dram(request.addr)?;
+            if col + request.len > row_bytes {
+                return Err(MemCtrlError::SpansRowBoundary {
+                    addr: request.addr,
+                    len: request.len,
+                });
+            }
+            mapped.push(Some((row, col)));
+        }
+        let mut done = Vec::with_capacity(requests.len());
+        for (request, mapped) in requests.iter().zip(mapped) {
+            let Some((row, col)) = mapped else {
+                self.stats.os_faults += 1;
+                done.push(CompletedRequest {
+                    request: request.clone(),
+                    denied: true,
+                    latency: 0,
+                    data: None,
+                });
+                continue;
+            };
+            done.push(self.service_mapped(request.clone(), row, col)?);
+        }
+        Ok(done)
+    }
+
+    /// The shared tail of [`MemoryController::service`] and
+    /// [`MemoryController::service_batch`]: hook consultation and the
+    /// DRAM access for an already-mapped request.
+    fn service_mapped(
+        &mut self,
+        request: MemRequest,
+        row: RowAddr,
+        col: usize,
+    ) -> Result<CompletedRequest, MemCtrlError> {
         let mut latency = self.hook.check_latency();
         let action = self.hook.before_access(&request, row, &mut self.dram);
         let (row, col) = match action {
@@ -453,6 +518,71 @@ mod tests {
         ctrl.submit(MemRequest::read(8, 1));
         ctrl.run_to_completion().unwrap();
         assert_eq!(acts.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    /// The batch path is the optimized twin of the per-request path:
+    /// identical completions, statistics and device state.
+    #[test]
+    fn service_batch_matches_per_request_reference() {
+        let requests: Vec<MemRequest> = (0..40u64)
+            .flat_map(|i| {
+                [
+                    MemRequest::write(i * 96 % 4096, vec![i as u8, (i + 1) as u8]),
+                    MemRequest::read(i * 96 % 4096, 2),
+                    MemRequest::read(i * 64 % 4096, 1).untrusted(),
+                ]
+            })
+            .collect();
+        let mut reference = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+        reference.os_protect_range(0, 256);
+        let mut batched = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+        batched.os_protect_range(0, 256);
+
+        let one_by_one: Vec<CompletedRequest> =
+            requests.iter().map(|r| reference.service(r.clone()).unwrap()).collect();
+        let in_one_pass = batched.service_batch(&requests).unwrap();
+
+        let observable = |done: &CompletedRequest| {
+            (done.request.addr, done.denied, done.latency, done.data.clone())
+        };
+        assert_eq!(
+            one_by_one.iter().map(observable).collect::<Vec<_>>(),
+            in_one_pass.iter().map(observable).collect::<Vec<_>>(),
+        );
+        assert_eq!(reference.stats(), batched.stats());
+        assert_eq!(reference.dram().stats(), batched.dram().stats());
+    }
+
+    #[test]
+    fn service_batch_denies_protected_requests_without_validating_them() {
+        // `service` os-faults an untrusted protected request before
+        // even mapping its address; the batch path must agree, so a
+        // protected request with a row-spanning length is denied, not
+        // an error.
+        let row_bytes = MemoryController::new(MemCtrlConfig::tiny_for_tests()).geometry().row_bytes;
+        let spanning = MemRequest::read(row_bytes as u64 - 1, 2).untrusted();
+        let mut reference = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+        reference.os_protect_range(0, 2 * row_bytes as u64);
+        let mut batched = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+        batched.os_protect_range(0, 2 * row_bytes as u64);
+
+        let one = reference.service(spanning.clone()).unwrap();
+        let batch = batched.service_batch(&[spanning]).unwrap();
+        assert!(one.denied && batch[0].denied);
+        assert_eq!(reference.stats(), batched.stats());
+        assert_eq!(batched.stats().os_faults, 1);
+    }
+
+    #[test]
+    fn service_batch_validates_before_touching_the_device() {
+        let mut ctrl = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+        let row_bytes = ctrl.geometry().row_bytes;
+        // A good request followed by a row-spanning one: the whole
+        // batch is rejected and the device stays untouched.
+        let batch = vec![MemRequest::read(0, 1), MemRequest::read(row_bytes as u64 - 1, 2)];
+        assert!(matches!(ctrl.service_batch(&batch), Err(MemCtrlError::SpansRowBoundary { .. })));
+        assert_eq!(ctrl.stats().served, 0);
+        assert_eq!(ctrl.dram().stats().total_activations(), 0);
     }
 
     #[test]

@@ -6,9 +6,12 @@
 //! can tweak budgets or geometry before running. Head-to-head sweeps
 //! are one loop over the catalog.
 
+use dlk_attacks::bfa::BfaConfig;
 use dlk_defenses::{CounterPerRow, Graphene, Hydra, SwapPolicy, Twice};
 use dlk_dnn::models;
-use dlk_engine::{EngineConfig, Workload};
+use dlk_dnn::WeightLayout;
+use dlk_engine::{ChannelRouter, EngineConfig, Workload};
+use dlk_memctrl::{AddressMapper, MemCtrlConfig};
 
 use crate::attack::{
     BfaHammerAttack, HammerAttack, InferenceStream, PageTablePoison, ProgressiveBfa,
@@ -62,6 +65,40 @@ fn bfa_base(success_rate: f64) -> ScenarioBuilder {
         .victim(VictimSpec::model(models::victim_tiny(42), 0x400))
         .attack(ProgressiveBfa::new(success_rate, 8))
         .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 10 })
+}
+
+/// The ResNet-20-shaped CNN victim under progressive BFA. The bit
+/// search walks every conv kernel and the dense head through the same
+/// flat indexing as the MLP scenarios; candidate trials are trimmed to
+/// keep the 22-layer sweep test-sized.
+fn cnn_bfa_base(success_rate: f64) -> ScenarioBuilder {
+    Scenario::builder()
+        .victim(VictimSpec::model(models::victim_resnet20_cnn(42), 0x400))
+        .attack(ProgressiveBfa {
+            success_rate,
+            seed: 8,
+            config: BfaConfig { candidates_per_layer: 2, bits_considered: Some([6, 7]) },
+        })
+        .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 8 })
+        .eval_batch(32)
+}
+
+/// The CNN victim's weight-fetch stream replayed over a 2-channel
+/// sharded engine: the fetch trace is recorded shard-local against the
+/// victim's layout, then lifted to global addresses homed on channel 0
+/// — inference traffic driving the multi-channel pipeline.
+fn cnn_inference_2ch() -> ScenarioBuilder {
+    let victim = models::victim_tiny_cnn(7);
+    let config = MemCtrlConfig::tiny_for_tests();
+    let mapper = AddressMapper::new(config.dram.geometry, config.scheme);
+    let layout = WeightLayout::new(0x400, mapper);
+    let local = layout.fetch_trace(&victim.model, 4, 32).expect("image fits the device");
+    let router = ChannelRouter::new(2, &mapper);
+    let trace = router.globalize_trace(&local, 0).expect("channel 0 exists");
+    Scenario::builder()
+        .engine(EngineConfig::sharded(2))
+        .victim(VictimSpec::model(victim, 0x400))
+        .attack(ReplayWorkload::trace(trace))
 }
 
 fn pta_base() -> ScenarioBuilder {
@@ -197,6 +234,47 @@ static CATALOG: &[CatalogEntry] = &[
         description: "Under DRAM-Locker only 9.6% of flips land (±20% variation)",
         expected: Expected::Any,
         build: || bfa_base(0.096),
+    },
+    CatalogEntry {
+        name: "cnn-bfa-vs-none",
+        artifact: "Fig. 8, CNN victim",
+        description: "Progressive BFA walks ResNet-20-shaped conv kernels; accuracy collapses",
+        expected: Expected::Harmed,
+        build: || cnn_bfa_base(1.0),
+    },
+    CatalogEntry {
+        name: "cnn-bfa-vs-dram-locker",
+        artifact: "Fig. 8 (with) / §IV-D, CNN victim",
+        description: "The same conv-kernel BFA with only 9.6% of flips landing under the locker",
+        expected: Expected::Any,
+        build: || cnn_bfa_base(0.096).defense(LockerMitigation::adjacent()),
+    },
+    CatalogEntry {
+        name: "cnn-bfa-hammer-vs-dram-locker",
+        artifact: "§IV / Fig. 4(d), CNN victim",
+        description: "Physical BFA against the CNN image's edge-row conv kernels, denied",
+        expected: Expected::Contained,
+        build: || {
+            Scenario::builder()
+                .victim(VictimSpec::model(models::victim_tiny_cnn(7), 0x400))
+                .attack(BfaHammerAttack::default())
+                .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 1 })
+                .defense(LockerMitigation::adjacent())
+        },
+    },
+    CatalogEntry {
+        name: "cnn-inference-2ch",
+        artifact: "scaling (ROADMAP), CNN victim",
+        description: "CNN weight-fetch trace replayed through a 2-channel sharded engine",
+        expected: Expected::Contained,
+        build: cnn_inference_2ch,
+    },
+    CatalogEntry {
+        name: "cnn-inference-2ch-vs-dram-locker",
+        artifact: "Table II prose, CNN victim",
+        description: "The same 2-channel CNN weight fetch with per-shard lock tables mounted",
+        expected: Expected::Contained,
+        build: || cnn_inference_2ch().defense(LockerMitigation::adjacent()),
     },
     CatalogEntry {
         name: "random-vs-none",

@@ -37,6 +37,9 @@
 //! | `hammer-vs-{graphene,hydra,twice,counter-per-row,rrs,srs}` | Table I baselines |
 //! | `hammer-vs-shadow` | Fig. 7 closest competitor |
 //! | `bfa-vs-none` / `bfa-vs-dram-locker` | Fig. 8 accuracy curves |
+//! | `cnn-bfa-vs-none` / `cnn-bfa-vs-dram-locker` | Fig. 8 on the ResNet-20-shaped CNN |
+//! | `cnn-bfa-hammer-vs-dram-locker` | Fig. 4(d) against conv kernels |
+//! | `cnn-inference-2ch[-vs-dram-locker]` | CNN weight fetch on the sharded engine |
 //! | `random-vs-none` | Fig. 1(a) random baseline |
 //! | `pta-vs-none` / `pta-vs-dram-locker` | §V page-table attack |
 //! | `inference-vs-dram-locker` | Table II prose (victim overhead) |
@@ -72,4 +75,4 @@ pub use crate::report::{AttackOutcome, MitigationReport, RunReport, VictimReport
 pub use crate::scenario::{Budget, Scenario, ScenarioBuilder, ScenarioRun};
 pub use crate::victim::{DeployedVictim, VictimSpec};
 
-pub use dlk_engine::{EngineConfig, ShardedEngine, Workload};
+pub use dlk_engine::{ChannelRouter, EngineConfig, ShardedEngine, Workload};

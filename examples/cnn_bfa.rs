@@ -1,0 +1,53 @@
+//! Progressive BFA against the ResNet-20-shaped CNN victim, with and
+//! without DRAM-Locker.
+//!
+//! The victim is a real convolutional network — conv stem, nine
+//! identity-skip residual blocks, pooling transitions, dense head —
+//! trained on the CIFAR-10 image stand-in, 8-bit quantized and
+//! deployed into DRAM rows. The white-box bit search ranks and flips
+//! conv-kernel MSBs through exactly the same machinery as the MLP
+//! scenarios; the locker drops the flip-landing rate to 9.6% (§IV-D)
+//! and the accuracy trajectory barely moves.
+//!
+//! Run with: `cargo run --release --example cnn_bfa`
+
+use dram_locker::sim::find;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let undefended = find("cnn-bfa-vs-none").expect("catalog entry").scenario().build()?.run()?;
+    let defended =
+        find("cnn-bfa-vs-dram-locker").expect("catalog entry").scenario().build()?.run()?;
+
+    println!("== Progressive BFA vs ResNet-20-shaped CNN ==");
+    for report in [&undefended, &defended] {
+        let defense =
+            if report.defenses.is_empty() { "no defense" } else { "dram-locker (9.6% land)" };
+        println!(
+            "{:24} landed {} of {} chosen flips, accuracy {:.1}% -> {:.1}%",
+            defense,
+            report.landed_flips,
+            report.target_bits.len(),
+            report.victims[0].accuracy_before_pct.unwrap_or(0.0),
+            report.victims[0].accuracy_after_pct.unwrap_or(0.0),
+        );
+        let curve: Vec<String> =
+            report.curve.iter().map(|(i, acc)| format!("{i}:{acc:.0}%")).collect();
+        println!("{:24} trajectory {}", "", curve.join(" "));
+    }
+
+    // The flips that landed name conv kernels: BitIndex.layer indexes
+    // the 22 weighted layers, of which only the last is dense.
+    let conv_flips = undefended.flipped_bits.iter().filter(|bit| bit.layer < 21).count();
+    println!("undefended flips in conv kernels: {conv_flips}/{}", undefended.flipped_bits.len());
+
+    assert!(undefended.accuracy_delta_pct() > 20.0, "BFA must collapse the CNN");
+    assert!(
+        defended.accuracy_delta_pct() < undefended.accuracy_delta_pct(),
+        "the locker must suppress the degradation"
+    );
+    println!(
+        "locker kept {:.1} accuracy points the attacker destroyed",
+        undefended.accuracy_delta_pct() - defended.accuracy_delta_pct()
+    );
+    Ok(())
+}

@@ -116,8 +116,8 @@ proptest! {
     fn quantization_error_bounded(seed in 0u64..32) {
         let model = models::tiny_mlp(seed);
         let quantized = QuantizedMlp::quantize(&model);
-        for (fl, ql) in model.layers().iter().zip(quantized.layers()) {
-            let deq = ql.dequantize();
+        for (fl, ql) in model.layers().iter().zip(quantized.weighted_layers()) {
+            let deq = ql.matrix().unwrap().dequantize();
             for (a, b) in fl.weight().as_slice().iter().zip(deq.weight().as_slice()) {
                 prop_assert!((a - b).abs() <= ql.scale() / 2.0 + 1e-6);
             }
