@@ -58,7 +58,9 @@ fn victim_workload(relock_interval: u64, target: LockTarget) -> (u64, u64, f64) 
         // Protect rows 10..12 (data) -> locks depend on the policy.
         .victim(VictimSpec::row_span(10, 2, 0xA5))
         .defense(LockerMitigation::new(config, target))
-        .attack(VictimMix { accesses: 2_000 })
+        // A one-off bench driver, not part of the attack zoo: mounted
+        // through the builder's custom escape hatch.
+        .custom_attack(VictimMix { accesses: 2_000 })
         .build()
         .expect("scenario builds")
         .run()

@@ -1,0 +1,49 @@
+//! Wall-clock scaling of the spec-driven sweep runner.
+//!
+//! The channel × defense acceptance grid runs twice — every spec
+//! serially on one thread, then across worker threads — and the
+//! artifact records both the grid's metrics table (markdown) and the
+//! serial/parallel agreement. Only the runner is being measured: the
+//! scenarios are identical specs resolved from the same catalog data.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dlk_bench::print_once;
+use dlk_sim::metrics;
+use dlk_sim::sweep::SweepRunner;
+use dlk_xlayer::experiments::defense_grid;
+
+static ARTIFACT: Once = Once::new();
+
+fn bench_sweep(c: &mut Criterion) {
+    print_once(&ARTIFACT, || {
+        let specs = defense_grid::specs().expect("grid expands");
+        let serial = SweepRunner::serial().run_reports(&specs).expect("serial sweep runs");
+        let parallel = SweepRunner::parallel().run_reports(&specs).expect("parallel sweep runs");
+        assert_eq!(serial, parallel, "sweep determinism");
+        let mut out = String::from("== Spec sweep: {1,2,4 channels} x {none, dram-locker} ==\n");
+        out.push_str(&format!(
+            "{} specs, parallel runner on {} threads, reports bit-identical to serial\n\n",
+            specs.len(),
+            SweepRunner::parallel().threads()
+        ));
+        out.push_str(&metrics::Table::from_reports(&serial).to_markdown());
+        out
+    });
+
+    let specs = defense_grid::specs().expect("grid expands");
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("serial_1thread", |b| {
+        b.iter(|| SweepRunner::serial().run_reports(&specs).expect("sweep runs"))
+    });
+    group.bench_function("parallel_4threads", |b| {
+        b.iter(|| SweepRunner::with_threads(4).run_reports(&specs).expect("sweep runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -136,6 +136,73 @@ pub fn tiny_cnn(seed: u64) -> Network {
     Network::new(layers)
 }
 
+/// The enumerable victim-model zoo: every trained victim the scenario
+/// layer can name *as data*. A `(ModelKind, seed)` pair fully
+/// determines a [`Victim`] (training is deterministic per seed), which
+/// is what lets scenario specs and sweep grids carry victims as plain
+/// values instead of closures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Tiny MLP for tests ([`victim_tiny`]).
+    Tiny,
+    /// Miniature residual CNN for tests ([`victim_tiny_cnn`]).
+    TinyCnn,
+    /// ResNet-20-like MLP stand-in on CIFAR-10-like
+    /// ([`victim_resnet20_cifar10`]).
+    Resnet20,
+    /// VGG-11-like MLP stand-in on CIFAR-100-like
+    /// ([`victim_vgg11_cifar100`]).
+    Vgg11,
+    /// ResNet-20-shaped CNN on CIFAR-10 image stand-ins
+    /// ([`victim_resnet20_cnn`]).
+    Resnet20Cnn,
+    /// VGG-11-shaped CNN on CIFAR-100 image stand-ins
+    /// ([`victim_vgg11_cnn`]).
+    Vgg11Cnn,
+}
+
+impl ModelKind {
+    /// Every model kind, in zoo order.
+    pub const ALL: [ModelKind; 6] = [
+        ModelKind::Tiny,
+        ModelKind::TinyCnn,
+        ModelKind::Resnet20,
+        ModelKind::Vgg11,
+        ModelKind::Resnet20Cnn,
+        ModelKind::Vgg11Cnn,
+    ];
+
+    /// Trains (or fetches the memoized copy of) this kind's victim for
+    /// `seed`.
+    pub fn victim(self, seed: u64) -> Victim {
+        match self {
+            ModelKind::Tiny => victim_tiny(seed),
+            ModelKind::TinyCnn => victim_tiny_cnn(seed),
+            ModelKind::Resnet20 => victim_resnet20_cifar10(seed),
+            ModelKind::Vgg11 => victim_vgg11_cifar100(seed),
+            ModelKind::Resnet20Cnn => victim_resnet20_cnn(seed),
+            ModelKind::Vgg11Cnn => victim_vgg11_cnn(seed),
+        }
+    }
+
+    /// The stable spec-file token for this kind.
+    pub fn token(self) -> &'static str {
+        match self {
+            ModelKind::Tiny => "tiny",
+            ModelKind::TinyCnn => "tiny-cnn",
+            ModelKind::Resnet20 => "resnet20",
+            ModelKind::Vgg11 => "vgg11",
+            ModelKind::Resnet20Cnn => "resnet20-cnn",
+            ModelKind::Vgg11Cnn => "vgg11-cnn",
+        }
+    }
+
+    /// Parses a [`token`](ModelKind::token) back into a kind.
+    pub fn from_token(token: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|kind| kind.token() == token)
+    }
+}
+
 /// A trained-and-quantized victim: model, dataset and clean accuracy.
 #[derive(Debug, Clone)]
 pub struct Victim {
@@ -147,19 +214,28 @@ pub struct Victim {
     pub clean_accuracy: f64,
 }
 
-/// Trains and quantizes the ResNet-20-like victim on CIFAR-10-like.
+/// Trains and quantizes the ResNet-20-like victim on CIFAR-10-like
+/// (memoized per seed).
 pub fn victim_resnet20_cifar10(seed: u64) -> Victim {
-    build_victim(resnet20_like(seed), SyntheticDataset::cifar10_like(seed), 40, 0.3)
+    cached_victim("resnet20", seed, || {
+        build_victim(resnet20_like(seed), SyntheticDataset::cifar10_like(seed), 40, 0.3)
+    })
 }
 
-/// Trains and quantizes the VGG-11-like victim on CIFAR-100-like.
+/// Trains and quantizes the VGG-11-like victim on CIFAR-100-like
+/// (memoized per seed).
 pub fn victim_vgg11_cifar100(seed: u64) -> Victim {
-    build_victim(vgg11_like(seed), SyntheticDataset::cifar100_like(seed), 50, 0.3)
+    cached_victim("vgg11", seed, || {
+        build_victim(vgg11_like(seed), SyntheticDataset::cifar100_like(seed), 50, 0.3)
+    })
 }
 
-/// Trains and quantizes a tiny victim for tests.
+/// Trains and quantizes a tiny victim for tests (memoized per seed:
+/// sweeps and spec-built scenarios request the same victim repeatedly).
 pub fn victim_tiny(seed: u64) -> Victim {
-    build_victim(tiny_mlp(seed), SyntheticDataset::tiny_for_tests(seed), 12, 0.3)
+    cached_victim("tiny", seed, || {
+        build_victim(tiny_mlp(seed), SyntheticDataset::tiny_for_tests(seed), 12, 0.3)
+    })
 }
 
 /// Trains and quantizes the ResNet-20-shaped CNN victim on CIFAR-10

@@ -44,9 +44,63 @@ impl Default for EngineConfig {
     }
 }
 
+/// The canonical one-token form used by spec files: `serial`,
+/// `sharded(n)` or `serial-ref(n)`.
+impl std::fmt::Display for EngineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.channels, self.parallel) {
+            (1, false) => write!(f, "serial"),
+            (n, true) => write!(f, "sharded({n})"),
+            (n, false) => write!(f, "serial-ref({n})"),
+        }
+    }
+}
+
+/// Parses the [`Display`](EngineConfig#impl-Display-for-EngineConfig)
+/// form. The error carries the offending token.
+impl std::str::FromStr for EngineConfig {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || format!("bad engine config '{s}' (serial | sharded(n) | serial-ref(n))");
+        if s == "serial" {
+            return Ok(Self::serial());
+        }
+        let channels = |prefix: &str| -> Option<usize> {
+            s.strip_prefix(prefix)?.strip_suffix(')')?.parse().ok().filter(|&n| n > 0)
+        };
+        if let Some(n) = channels("sharded(") {
+            return Ok(Self::sharded(n));
+        }
+        if let Some(n) = channels("serial-ref(") {
+            return Ok(Self::serial_reference(n));
+        }
+        Err(bad())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn display_round_trips_every_shape() {
+        for config in [
+            EngineConfig::serial(),
+            EngineConfig::sharded(1),
+            EngineConfig::sharded(4),
+            EngineConfig::serial_reference(4),
+        ] {
+            let token = config.to_string();
+            assert_eq!(token.parse::<EngineConfig>().unwrap(), config, "{token}");
+        }
+        assert_eq!(EngineConfig::serial().to_string(), "serial");
+        assert_eq!(EngineConfig::sharded(4).to_string(), "sharded(4)");
+        assert_eq!(EngineConfig::serial_reference(4).to_string(), "serial-ref(4)");
+        assert!("sharded(0)".parse::<EngineConfig>().is_err());
+        assert!("sharded(2".parse::<EngineConfig>().is_err());
+        assert!("threads(2)".parse::<EngineConfig>().is_err());
+    }
 
     #[test]
     fn constructors_set_parallelism() {

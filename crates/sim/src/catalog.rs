@@ -1,24 +1,22 @@
 //! The named scenario registry.
 //!
 //! Every attack × defense combination the paper evaluates is a named,
-//! enumerable scenario: `catalog()` lists them, [`find`] looks one up,
-//! and [`CatalogEntry::scenario`] hands back a fresh builder so callers
-//! can tweak budgets or geometry before running. Head-to-head sweeps
-//! are one loop over the catalog.
+//! enumerable scenario — and since the spec redesign each entry *is
+//! data*: a [`ScenarioSpec`] that can be printed, diffed, persisted
+//! through the spec codec and fed to sweep grids. [`catalog`] lists the
+//! entries, [`find`] looks one up (with a did-you-mean suggestion on
+//! a miss), and [`CatalogEntry::scenario`] hands back a pre-loaded
+//! builder so callers can tweak budgets or geometry before running.
+//! Head-to-head sweeps are one loop over the catalog — or one
+//! [`SweepGrid`](crate::sweep::SweepGrid) over any entry's spec.
 
 use dlk_attacks::bfa::BfaConfig;
-use dlk_defenses::{CounterPerRow, Graphene, Hydra, SwapPolicy, Twice};
-use dlk_dnn::models;
-use dlk_dnn::WeightLayout;
-use dlk_engine::{ChannelRouter, EngineConfig, Workload};
-use dlk_memctrl::{AddressMapper, MemCtrlConfig};
+use dlk_dnn::models::ModelKind;
+use dlk_engine::{EngineConfig, Workload};
 
-use crate::attack::{
-    BfaHammerAttack, HammerAttack, InferenceStream, PageTablePoison, ProgressiveBfa,
-    RandomFlipAttack, ReplayWorkload,
-};
-use crate::mitigation::{LockerMitigation, RowSwapMitigation, ShadowMitigation, TrackerMitigation};
-use crate::scenario::{Budget, Scenario, ScenarioBuilder};
+use crate::error::SimError;
+use crate::scenario::{Budget, ScenarioBuilder};
+use crate::spec::{AttackSpec, DefenseSpec, ScenarioSpec};
 use crate::victim::VictimSpec;
 
 /// What a scenario is expected to show when swept.
@@ -32,8 +30,8 @@ pub enum Expected {
     Any,
 }
 
-/// One named scenario.
-#[derive(Debug, Clone, Copy)]
+/// One named scenario: metadata plus the full declarative spec.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CatalogEntry {
     /// Unique scenario name (`attack-vs-defense`).
     pub name: &'static str,
@@ -43,69 +41,109 @@ pub struct CatalogEntry {
     pub description: &'static str,
     /// Sweep expectation.
     pub expected: Expected,
-    build: fn() -> ScenarioBuilder,
+    /// The scenario, as data (label = `name`).
+    pub spec: ScenarioSpec,
 }
 
 impl CatalogEntry {
-    /// A fresh builder for this scenario (victims trained on demand).
+    /// A builder pre-loaded with this entry's spec (victims trained on
+    /// demand at build time).
     pub fn scenario(&self) -> ScenarioBuilder {
-        (self.build)().label(self.name)
+        ScenarioBuilder::from_spec(self.spec.clone())
     }
 }
 
-fn hammer_base() -> ScenarioBuilder {
-    Scenario::builder()
-        .victim(VictimSpec::row(20, 0xA5))
-        .attack(HammerAttack::bit(77))
-        .budget(Budget { max_activations: 4_000, check_interval: 8, iterations: 1 })
+const WEIGHT_BASE: u64 = 0x400;
+const ROW_BYTES: u64 = 64; // tiny geometry
+
+fn entry(
+    name: &'static str,
+    artifact: &'static str,
+    description: &'static str,
+    expected: Expected,
+    spec: ScenarioSpec,
+) -> CatalogEntry {
+    CatalogEntry {
+        name,
+        artifact,
+        description,
+        expected,
+        spec: ScenarioSpec { label: name.to_owned(), ..spec },
+    }
 }
 
-fn bfa_base(success_rate: f64) -> ScenarioBuilder {
-    Scenario::builder()
-        .victim(VictimSpec::model(models::victim_tiny(42), 0x400))
-        .attack(ProgressiveBfa::new(success_rate, 8))
-        .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 10 })
+fn hammer_base() -> ScenarioSpec {
+    ScenarioSpec {
+        victims: vec![(VictimSpec::row(20, 0xA5), 0)],
+        attack: Some(AttackSpec::Hammer { bit: 77 }),
+        budget: Budget { max_activations: 4_000, check_interval: 8, iterations: 1 },
+        ..ScenarioSpec::default()
+    }
+}
+
+fn hammer_vs(defense: DefenseSpec) -> ScenarioSpec {
+    ScenarioSpec { defenses: vec![defense], ..hammer_base() }
+}
+
+fn bfa_base(success_rate: f64) -> ScenarioSpec {
+    ScenarioSpec {
+        victims: vec![(VictimSpec::model(ModelKind::Tiny, 42, WEIGHT_BASE), 0)],
+        attack: Some(AttackSpec::ProgressiveBfa {
+            success_rate,
+            seed: 8,
+            config: BfaConfig::default(),
+        }),
+        ..ScenarioSpec::default()
+    }
 }
 
 /// The ResNet-20-shaped CNN victim under progressive BFA. The bit
 /// search walks every conv kernel and the dense head through the same
 /// flat indexing as the MLP scenarios; candidate trials are trimmed to
 /// keep the 22-layer sweep test-sized.
-fn cnn_bfa_base(success_rate: f64) -> ScenarioBuilder {
-    Scenario::builder()
-        .victim(VictimSpec::model(models::victim_resnet20_cnn(42), 0x400))
-        .attack(ProgressiveBfa {
+fn cnn_bfa_base(success_rate: f64) -> ScenarioSpec {
+    ScenarioSpec {
+        victims: vec![(VictimSpec::model(ModelKind::Resnet20Cnn, 42, WEIGHT_BASE), 0)],
+        attack: Some(AttackSpec::ProgressiveBfa {
             success_rate,
             seed: 8,
             config: BfaConfig { candidates_per_layer: 2, bits_considered: Some([6, 7]) },
-        })
-        .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 8 })
-        .eval_batch(32)
+        }),
+        budget: Budget { max_activations: 20_000, check_interval: 8, iterations: 8 },
+        eval_batch: 32,
+        ..ScenarioSpec::default()
+    }
+}
+
+fn bfa_hammer_base(model: ModelKind, seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        victims: vec![(VictimSpec::model(model, seed, WEIGHT_BASE), 0)],
+        attack: Some(AttackSpec::BfaHammer { batch: 48 }),
+        budget: Budget { max_activations: 20_000, check_interval: 8, iterations: 1 },
+        ..ScenarioSpec::default()
+    }
 }
 
 /// The CNN victim's weight-fetch stream replayed over a 2-channel
 /// sharded engine: the fetch trace is recorded shard-local against the
-/// victim's layout, then lifted to global addresses homed on channel 0
-/// — inference traffic driving the multi-channel pipeline.
-fn cnn_inference_2ch() -> ScenarioBuilder {
-    let victim = models::victim_tiny_cnn(7);
-    let config = MemCtrlConfig::tiny_for_tests();
-    let mapper = AddressMapper::new(config.dram.geometry, config.scheme);
-    let layout = WeightLayout::new(0x400, mapper);
-    let local = layout.fetch_trace(&victim.model, 4, 32).expect("image fits the device");
-    let router = ChannelRouter::new(2, &mapper);
-    let trace = router.globalize_trace(&local, 0).expect("channel 0 exists");
-    Scenario::builder()
-        .engine(EngineConfig::sharded(2))
-        .victim(VictimSpec::model(victim, 0x400))
-        .attack(ReplayWorkload::trace(trace))
+/// victim's layout at build time, then lifted to global addresses homed
+/// on channel 0 — inference traffic driving the multi-channel pipeline.
+fn cnn_inference_2ch() -> ScenarioSpec {
+    ScenarioSpec {
+        engine: EngineConfig::sharded(2),
+        victims: vec![(VictimSpec::model(ModelKind::TinyCnn, 7, WEIGHT_BASE), 0)],
+        attack: Some(AttackSpec::weight_fetch(4, 32, 0)),
+        ..ScenarioSpec::default()
+    }
 }
 
-fn pta_base() -> ScenarioBuilder {
-    Scenario::builder()
-        .victim(VictimSpec::paged(models::victim_tiny(21)))
-        .attack(PageTablePoison::default())
-        .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 1 })
+fn pta_base() -> ScenarioSpec {
+    ScenarioSpec {
+        victims: vec![(VictimSpec::paged(ModelKind::Tiny, 21), 0)],
+        attack: Some(AttackSpec::PageTable { pfn_bit: 1, payload_xor: 0x80 }),
+        budget: Budget { max_activations: 20_000, check_interval: 8, iterations: 1 },
+        ..ScenarioSpec::default()
+    }
 }
 
 /// Multi-tenant replay over a 4-channel sharded engine: two row
@@ -114,281 +152,303 @@ fn pta_base() -> ScenarioBuilder {
 /// stripe over 4 channels, so local rows 19/21 of channel 0 (the
 /// aggressor-candidate neighbours of victim row 20) are global rows
 /// 76/84.
-fn multitenant_4ch() -> ScenarioBuilder {
-    let row_bytes = 64u64; // tiny geometry
-    Scenario::builder()
-        .engine(EngineConfig::sharded(4))
-        .victim_on(VictimSpec::row(20, 0xA5), 0)
-        .victim_on(VictimSpec::row(20, 0x5A), 1)
-        .attack(ReplayWorkload::tenants(&[
+fn multitenant_4ch() -> ScenarioSpec {
+    ScenarioSpec {
+        engine: EngineConfig::sharded(4),
+        victims: vec![(VictimSpec::row(20, 0xA5), 0), (VictimSpec::row(20, 0x5A), 1)],
+        attack: Some(AttackSpec::tenants(vec![
             Workload::Sequential { base: 0, len: 8, count: 400 },
-            Workload::Strided { base: 0, stride: 4 * row_bytes, len: 4, count: 200 },
-            Workload::PointerChase { base: 0, span: 512 * row_bytes, len: 8, count: 400, seed: 11 },
+            Workload::Strided { base: 0, stride: 4 * ROW_BYTES, len: 4, count: 200 },
+            Workload::PointerChase { base: 0, span: 512 * ROW_BYTES, len: 8, count: 400, seed: 11 },
             Workload::HammerLoop {
-                addr_a: 76 * row_bytes,
-                addr_b: 84 * row_bytes,
+                addr_a: 76 * ROW_BYTES,
+                addr_b: 84 * ROW_BYTES,
                 iterations: 200,
             },
-        ]))
+        ])),
+        ..ScenarioSpec::default()
+    }
 }
 
-static CATALOG: &[CatalogEntry] = &[
-    CatalogEntry {
-        name: "hammer-vs-none",
-        artifact: "Fig. 4 premise",
-        description: "RowHammer flips a victim-row bit on an undefended device",
-        expected: Expected::Harmed,
-        build: || hammer_base(),
-    },
-    CatalogEntry {
-        name: "hammer-vs-dram-locker",
-        artifact: "Fig. 4(d)",
-        description: "DRAM-Locker locks the aggressor-candidate rows; every access denied",
-        expected: Expected::Contained,
-        build: || hammer_base().defense(LockerMitigation::adjacent()),
-    },
-    CatalogEntry {
-        name: "hammer-vs-graphene",
-        artifact: "Table I baseline",
-        description: "Graphene's Misra-Gries tracker refreshes before TRH",
-        expected: Expected::Contained,
-        build: || hammer_base().defense(TrackerMitigation::new(Graphene::new(64, 8))),
-    },
-    CatalogEntry {
-        name: "hammer-vs-hydra",
-        artifact: "Table I baseline",
-        description: "Hydra's hybrid tracker refreshes before TRH",
-        expected: Expected::Contained,
-        build: || hammer_base().defense(TrackerMitigation::new(Hydra::new(16, 4, 8))),
-    },
-    CatalogEntry {
-        name: "hammer-vs-twice",
-        artifact: "Table I baseline",
-        description: "TWiCE's pruned counter table refreshes before TRH",
-        expected: Expected::Contained,
-        build: || hammer_base().defense(TrackerMitigation::new(Twice::new(8, 64, 1))),
-    },
-    CatalogEntry {
-        name: "hammer-vs-counter-per-row",
-        artifact: "Table I upper bound",
-        description: "Exact per-row counters refresh before TRH",
-        expected: Expected::Contained,
-        build: || hammer_base().defense(TrackerMitigation::new(CounterPerRow::new(8))),
-    },
-    CatalogEntry {
-        name: "hammer-vs-rrs",
-        artifact: "Table I baseline",
-        description: "Randomized Row-Swap relocates the aggressor; victim data survives",
-        expected: Expected::Contained,
-        build: || hammer_base().defense(RowSwapMitigation::new(SwapPolicy::Randomized, 8, 5)),
-    },
-    CatalogEntry {
-        name: "hammer-vs-srs",
-        artifact: "Table I baseline",
-        description: "Secure Row-Swap relocates proactively; victim data survives",
-        expected: Expected::Contained,
-        build: || hammer_base().defense(RowSwapMitigation::new(SwapPolicy::Secure, 8, 5)),
-    },
-    CatalogEntry {
-        name: "hammer-vs-shadow",
-        artifact: "Fig. 7",
-        description: "SHADOW shuffles the subarray; victim data survives",
-        expected: Expected::Contained,
-        build: || hammer_base().defense(ShadowMitigation::new(8, 5)),
-    },
-    CatalogEntry {
-        name: "bfa-hammer-vs-none",
-        artifact: "§III / Fig. 3(a)",
-        description: "Gradient-ranked edge-row MSB realized by a physical hammer campaign",
-        expected: Expected::Any,
-        build: || {
-            Scenario::builder()
-                .victim(VictimSpec::model(models::victim_tiny(31), 0x400))
-                .attack(BfaHammerAttack::default())
-                .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 1 })
-        },
-    },
-    CatalogEntry {
-        name: "bfa-hammer-vs-dram-locker",
-        artifact: "§IV / Fig. 4(d)",
-        description: "The same physical BFA campaign, denied by the lock table",
-        expected: Expected::Contained,
-        build: || {
-            Scenario::builder()
-                .victim(VictimSpec::model(models::victim_tiny(31), 0x400))
-                .attack(BfaHammerAttack::default())
-                .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 1 })
-                .defense(LockerMitigation::adjacent())
-        },
-    },
-    CatalogEntry {
-        name: "bfa-vs-none",
-        artifact: "Fig. 8 (without)",
-        description: "Progressive BFA: every chosen flip lands, accuracy collapses",
-        expected: Expected::Harmed,
-        build: || bfa_base(1.0),
-    },
-    CatalogEntry {
-        name: "bfa-vs-dram-locker",
-        artifact: "Fig. 8 (with) / §IV-D",
-        description: "Under DRAM-Locker only 9.6% of flips land (±20% variation)",
-        expected: Expected::Any,
-        build: || bfa_base(0.096),
-    },
-    CatalogEntry {
-        name: "cnn-bfa-vs-none",
-        artifact: "Fig. 8, CNN victim",
-        description: "Progressive BFA walks ResNet-20-shaped conv kernels; accuracy collapses",
-        expected: Expected::Harmed,
-        build: || cnn_bfa_base(1.0),
-    },
-    CatalogEntry {
-        name: "cnn-bfa-vs-dram-locker",
-        artifact: "Fig. 8 (with) / §IV-D, CNN victim",
-        description: "The same conv-kernel BFA with only 9.6% of flips landing under the locker",
-        expected: Expected::Any,
-        build: || cnn_bfa_base(0.096).defense(LockerMitigation::adjacent()),
-    },
-    CatalogEntry {
-        name: "cnn-bfa-hammer-vs-dram-locker",
-        artifact: "§IV / Fig. 4(d), CNN victim",
-        description: "Physical BFA against the CNN image's edge-row conv kernels, denied",
-        expected: Expected::Contained,
-        build: || {
-            Scenario::builder()
-                .victim(VictimSpec::model(models::victim_tiny_cnn(7), 0x400))
-                .attack(BfaHammerAttack::default())
-                .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 1 })
-                .defense(LockerMitigation::adjacent())
-        },
-    },
-    CatalogEntry {
-        name: "cnn-inference-2ch",
-        artifact: "scaling (ROADMAP), CNN victim",
-        description: "CNN weight-fetch trace replayed through a 2-channel sharded engine",
-        expected: Expected::Contained,
-        build: cnn_inference_2ch,
-    },
-    CatalogEntry {
-        name: "cnn-inference-2ch-vs-dram-locker",
-        artifact: "Table II prose, CNN victim",
-        description: "The same 2-channel CNN weight fetch with per-shard lock tables mounted",
-        expected: Expected::Contained,
-        build: || cnn_inference_2ch().defense(LockerMitigation::adjacent()),
-    },
-    CatalogEntry {
-        name: "random-vs-none",
-        artifact: "Fig. 1(a)",
-        description: "Uniformly random flips — orders of magnitude weaker than BFA",
-        expected: Expected::Any,
-        build: || {
-            Scenario::builder()
-                .victim(VictimSpec::model(models::victim_tiny(42), 0x400))
-                .attack(RandomFlipAttack::new(7))
-                .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 10 })
-        },
-    },
-    CatalogEntry {
-        name: "pta-vs-none",
-        artifact: "§V",
-        description: "Page Table Attack redirects a weight page to a poisoned frame",
-        expected: Expected::Harmed,
-        build: || pta_base(),
-    },
-    CatalogEntry {
-        name: "pta-vs-dram-locker",
-        artifact: "§V",
-        description: "DRAM-Locker guards the page-table rows; the PTE survives",
-        expected: Expected::Contained,
-        build: || pta_base().defense(LockerMitigation::adjacent()),
-    },
-    CatalogEntry {
-        name: "inference-vs-dram-locker",
-        artifact: "Table II prose",
-        description: "Victim inference traffic under adjacent-row locking (overhead run)",
-        expected: Expected::Contained,
-        build: || {
-            Scenario::builder()
-                .victim(VictimSpec::model(models::victim_tiny(3), 0x400))
-                .attack(InferenceStream::default())
-                .defense(LockerMitigation::adjacent())
-        },
-    },
-    CatalogEntry {
-        name: "replay-stream-2ch",
-        artifact: "scaling (ROADMAP)",
-        description: "Sequential trace replay fanned over a 2-channel sharded engine",
-        expected: Expected::Contained,
-        build: || {
-            Scenario::builder()
-                .engine(EngineConfig::sharded(2))
-                .victim(VictimSpec::row(20, 0xA5))
-                .attack(ReplayWorkload::workload(&Workload::Sequential {
+fn with_defense(spec: ScenarioSpec, defense: DefenseSpec) -> ScenarioSpec {
+    let mut spec = spec;
+    spec.defenses.push(defense);
+    spec
+}
+
+/// Every named scenario, in evaluation order, as data.
+pub fn catalog() -> Vec<CatalogEntry> {
+    vec![
+        entry(
+            "hammer-vs-none",
+            "Fig. 4 premise",
+            "RowHammer flips a victim-row bit on an undefended device",
+            Expected::Harmed,
+            hammer_base(),
+        ),
+        entry(
+            "hammer-vs-dram-locker",
+            "Fig. 4(d)",
+            "DRAM-Locker locks the aggressor-candidate rows; every access denied",
+            Expected::Contained,
+            hammer_vs(DefenseSpec::locker_adjacent()),
+        ),
+        entry(
+            "hammer-vs-graphene",
+            "Table I baseline",
+            "Graphene's Misra-Gries tracker refreshes before TRH",
+            Expected::Contained,
+            hammer_vs(DefenseSpec::graphene(64, 8)),
+        ),
+        entry(
+            "hammer-vs-hydra",
+            "Table I baseline",
+            "Hydra's hybrid tracker refreshes before TRH",
+            Expected::Contained,
+            hammer_vs(DefenseSpec::hydra(16, 4, 8)),
+        ),
+        entry(
+            "hammer-vs-twice",
+            "Table I baseline",
+            "TWiCE's pruned counter table refreshes before TRH",
+            Expected::Contained,
+            hammer_vs(DefenseSpec::twice(8, 64, 1)),
+        ),
+        entry(
+            "hammer-vs-counter-per-row",
+            "Table I upper bound",
+            "Exact per-row counters refresh before TRH",
+            Expected::Contained,
+            hammer_vs(DefenseSpec::counter_per_row(8)),
+        ),
+        entry(
+            "hammer-vs-rrs",
+            "Table I baseline",
+            "Randomized Row-Swap relocates the aggressor; victim data survives",
+            Expected::Contained,
+            hammer_vs(DefenseSpec::rrs(8, 5)),
+        ),
+        entry(
+            "hammer-vs-srs",
+            "Table I baseline",
+            "Secure Row-Swap relocates proactively; victim data survives",
+            Expected::Contained,
+            hammer_vs(DefenseSpec::srs(8, 5)),
+        ),
+        entry(
+            "hammer-vs-shadow",
+            "Fig. 7",
+            "SHADOW shuffles the subarray; victim data survives",
+            Expected::Contained,
+            hammer_vs(DefenseSpec::shadow(8, 5)),
+        ),
+        entry(
+            "bfa-hammer-vs-none",
+            "§III / Fig. 3(a)",
+            "Gradient-ranked edge-row MSB realized by a physical hammer campaign",
+            Expected::Any,
+            bfa_hammer_base(ModelKind::Tiny, 31),
+        ),
+        entry(
+            "bfa-hammer-vs-dram-locker",
+            "§IV / Fig. 4(d)",
+            "The same physical BFA campaign, denied by the lock table",
+            Expected::Contained,
+            with_defense(bfa_hammer_base(ModelKind::Tiny, 31), DefenseSpec::locker_adjacent()),
+        ),
+        entry(
+            "bfa-vs-none",
+            "Fig. 8 (without)",
+            "Progressive BFA: every chosen flip lands, accuracy collapses",
+            Expected::Harmed,
+            bfa_base(1.0),
+        ),
+        entry(
+            "bfa-vs-dram-locker",
+            "Fig. 8 (with) / §IV-D",
+            "Under DRAM-Locker only 9.6% of flips land (±20% variation)",
+            Expected::Any,
+            bfa_base(0.096),
+        ),
+        entry(
+            "cnn-bfa-vs-none",
+            "Fig. 8, CNN victim",
+            "Progressive BFA walks ResNet-20-shaped conv kernels; accuracy collapses",
+            Expected::Harmed,
+            cnn_bfa_base(1.0),
+        ),
+        entry(
+            "cnn-bfa-vs-dram-locker",
+            "Fig. 8 (with) / §IV-D, CNN victim",
+            "The same conv-kernel BFA with only 9.6% of flips landing under the locker",
+            Expected::Any,
+            with_defense(cnn_bfa_base(0.096), DefenseSpec::locker_adjacent()),
+        ),
+        entry(
+            "cnn-bfa-hammer-vs-dram-locker",
+            "§IV / Fig. 4(d), CNN victim",
+            "Physical BFA against the CNN image's edge-row conv kernels, denied",
+            Expected::Contained,
+            with_defense(bfa_hammer_base(ModelKind::TinyCnn, 7), DefenseSpec::locker_adjacent()),
+        ),
+        entry(
+            "cnn-inference-2ch",
+            "scaling (ROADMAP), CNN victim",
+            "CNN weight-fetch trace replayed through a 2-channel sharded engine",
+            Expected::Contained,
+            cnn_inference_2ch(),
+        ),
+        entry(
+            "cnn-inference-2ch-vs-dram-locker",
+            "Table II prose, CNN victim",
+            "The same 2-channel CNN weight fetch with per-shard lock tables mounted",
+            Expected::Contained,
+            with_defense(cnn_inference_2ch(), DefenseSpec::locker_adjacent()),
+        ),
+        entry(
+            "random-vs-none",
+            "Fig. 1(a)",
+            "Uniformly random flips — orders of magnitude weaker than BFA",
+            Expected::Any,
+            ScenarioSpec {
+                victims: vec![(VictimSpec::model(ModelKind::Tiny, 42, WEIGHT_BASE), 0)],
+                attack: Some(AttackSpec::RandomFlip { seed: 7 }),
+                ..ScenarioSpec::default()
+            },
+        ),
+        entry(
+            "pta-vs-none",
+            "§V",
+            "Page Table Attack redirects a weight page to a poisoned frame",
+            Expected::Harmed,
+            pta_base(),
+        ),
+        entry(
+            "pta-vs-dram-locker",
+            "§V",
+            "DRAM-Locker guards the page-table rows; the PTE survives",
+            Expected::Contained,
+            with_defense(pta_base(), DefenseSpec::locker_adjacent()),
+        ),
+        entry(
+            "inference-vs-dram-locker",
+            "Table II prose",
+            "Victim inference traffic under adjacent-row locking (overhead run)",
+            Expected::Contained,
+            ScenarioSpec {
+                victims: vec![(VictimSpec::model(ModelKind::Tiny, 3, WEIGHT_BASE), 0)],
+                attack: Some(AttackSpec::InferenceStream { batches: 10, chunk: 32 }),
+                defenses: vec![DefenseSpec::locker_adjacent()],
+                ..ScenarioSpec::default()
+            },
+        ),
+        entry(
+            "replay-stream-2ch",
+            "scaling (ROADMAP)",
+            "Sequential trace replay fanned over a 2-channel sharded engine",
+            Expected::Contained,
+            ScenarioSpec {
+                engine: EngineConfig::sharded(2),
+                victims: vec![(VictimSpec::row(20, 0xA5), 0)],
+                attack: Some(AttackSpec::replay(Workload::Sequential {
                     base: 0,
                     len: 8,
                     count: 2_000,
-                }))
-        },
-    },
-    CatalogEntry {
-        name: "replay-chase-2ch",
-        artifact: "scaling (ROADMAP)",
-        description: "Dependent pointer-chase replay across 2 channels (worst-case locality)",
-        expected: Expected::Any,
-        build: || {
-            Scenario::builder()
-                .engine(EngineConfig::sharded(2))
-                .victim(VictimSpec::row(20, 0xA5))
-                .attack(ReplayWorkload::workload(&Workload::PointerChase {
+                })),
+                ..ScenarioSpec::default()
+            },
+        ),
+        entry(
+            "replay-chase-2ch",
+            "scaling (ROADMAP)",
+            "Dependent pointer-chase replay across 2 channels (worst-case locality)",
+            Expected::Any,
+            ScenarioSpec {
+                engine: EngineConfig::sharded(2),
+                victims: vec![(VictimSpec::row(20, 0xA5), 0)],
+                attack: Some(AttackSpec::replay(Workload::PointerChase {
                     base: 0,
-                    span: 512 * 64,
+                    span: 512 * ROW_BYTES,
                     len: 8,
                     count: 1_000,
                     seed: 7,
-                }))
-        },
-    },
-    CatalogEntry {
-        name: "replay-hammer-vs-dram-locker",
-        artifact: "Fig. 4(d) via replay",
-        description: "A recorded hammer-loop trace replayed against the lock table",
-        expected: Expected::Contained,
-        build: || {
-            Scenario::builder()
-                .victim(VictimSpec::row(20, 0xA5))
-                .attack(ReplayWorkload::workload(&Workload::HammerLoop {
-                    addr_a: 19 * 64,
-                    addr_b: 21 * 64,
+                })),
+                ..ScenarioSpec::default()
+            },
+        ),
+        entry(
+            "replay-hammer-vs-dram-locker",
+            "Fig. 4(d) via replay",
+            "A recorded hammer-loop trace replayed against the lock table",
+            Expected::Contained,
+            ScenarioSpec {
+                victims: vec![(VictimSpec::row(20, 0xA5), 0)],
+                attack: Some(AttackSpec::replay(Workload::HammerLoop {
+                    addr_a: 19 * ROW_BYTES,
+                    addr_b: 21 * ROW_BYTES,
                     iterations: 500,
-                }))
-                .defense(LockerMitigation::adjacent())
-        },
-    },
-    CatalogEntry {
-        name: "replay-multitenant-4ch",
-        artifact: "multi-tenant (ROADMAP)",
-        description: "Four tenants interleaved over 4 channels; the hammer tenant corrupts \
-                      channel 0's victim, channel 1's tenant is untouched",
-        expected: Expected::Harmed,
-        build: multitenant_4ch,
-    },
-    CatalogEntry {
-        name: "replay-multitenant-4ch-vs-dram-locker",
-        artifact: "multi-tenant (ROADMAP)",
-        description: "The same 4-channel mix with per-shard lock-table slices mounted",
-        expected: Expected::Contained,
-        build: || multitenant_4ch().defense(LockerMitigation::adjacent()),
-    },
-];
-
-/// Every named scenario, in evaluation order.
-pub fn catalog() -> &'static [CatalogEntry] {
-    CATALOG
+                })),
+                defenses: vec![DefenseSpec::locker_adjacent()],
+                ..ScenarioSpec::default()
+            },
+        ),
+        entry(
+            "replay-multitenant-4ch",
+            "multi-tenant (ROADMAP)",
+            "Four tenants interleaved over 4 channels; the hammer tenant corrupts \
+             channel 0's victim, channel 1's tenant is untouched",
+            Expected::Harmed,
+            multitenant_4ch(),
+        ),
+        entry(
+            "replay-multitenant-4ch-vs-dram-locker",
+            "multi-tenant (ROADMAP)",
+            "The same 4-channel mix with per-shard lock-table slices mounted",
+            Expected::Contained,
+            with_defense(multitenant_4ch(), DefenseSpec::locker_adjacent()),
+        ),
+    ]
 }
 
 /// Looks a scenario up by name.
-pub fn find(name: &str) -> Option<&'static CatalogEntry> {
-    CATALOG.iter().find(|entry| entry.name == name)
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownScenario`] for an unknown name, carrying
+/// the nearest catalog name by edit distance as a did-you-mean
+/// suggestion when one is plausibly a typo.
+pub fn find(name: &str) -> Result<CatalogEntry, SimError> {
+    let entries = catalog();
+    match entries.iter().position(|entry| entry.name == name) {
+        Some(index) => Ok(entries.into_iter().nth(index).expect("position is in range")),
+        None => {
+            let suggestion = entries
+                .iter()
+                .map(|entry| (edit_distance(name, entry.name), entry.name))
+                .min()
+                // A suggestion further away than half the query is
+                // noise, not a typo.
+                .filter(|&(distance, _)| distance <= name.len().max(4) / 2)
+                .map(|(_, best)| best.to_owned());
+            Err(SimError::UnknownScenario { name: name.to_owned(), suggestion })
+        }
+    }
+}
+
+/// Levenshtein distance (insert/delete/substitute, unit costs).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut previous: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut current = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let substitute = previous[j] + usize::from(ca != cb);
+            current.push(substitute.min(previous[j + 1] + 1).min(current[j] + 1));
+        }
+        previous = current;
+    }
+    previous[b.len()]
 }
 
 #[cfg(test)]
@@ -403,9 +463,46 @@ mod tests {
     }
 
     #[test]
+    fn entries_are_labelled_data() {
+        for entry in catalog() {
+            assert_eq!(entry.spec.label, entry.name);
+        }
+    }
+
+    #[test]
+    fn every_entry_survives_a_codec_round_trip() {
+        for entry in catalog() {
+            let text = entry.spec.to_text();
+            let parsed = ScenarioSpec::from_text(&text).unwrap();
+            assert_eq!(parsed, entry.spec, "{}:\n{text}", entry.name);
+        }
+    }
+
+    #[test]
     fn find_resolves_names() {
-        assert!(find("hammer-vs-dram-locker").is_some());
-        assert!(find("no-such-scenario").is_none());
+        assert!(find("hammer-vs-dram-locker").is_ok());
+        assert!(find("no-such-scenario").is_err());
+    }
+
+    #[test]
+    fn find_suggests_the_nearest_name() {
+        let err = find("hammer-vs-dram-loker").unwrap_err();
+        match err {
+            SimError::UnknownScenario { suggestion, .. } => {
+                assert_eq!(suggestion.as_deref(), Some("hammer-vs-dram-locker"));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        // A name nothing like any entry gets no suggestion.
+        let err = find("zzzzzzzzzzzzzzzzzzzzzzzz").unwrap_err();
+        assert!(err.to_string() == "unknown scenario 'zzzzzzzzzzzzzzzzzzzzzzzz'", "{err}");
+    }
+
+    #[test]
+    fn edit_distance_is_sane() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
     }
 
     #[test]

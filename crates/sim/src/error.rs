@@ -21,6 +21,21 @@ pub enum SimError {
     Engine(EngineError),
     /// Scenario assembly failure (missing victim, bad target index, …).
     Build(String),
+    /// A scenario spec file failed to parse.
+    SpecParse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A catalog lookup named no known scenario.
+    UnknownScenario {
+        /// The name that was looked up.
+        name: String,
+        /// The nearest catalog name by edit distance, if any is close
+        /// enough to plausibly be a typo.
+        suggestion: Option<String>,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -32,6 +47,16 @@ impl std::fmt::Display for SimError {
             SimError::Locker(e) => write!(f, "locker: {e}"),
             SimError::Engine(e) => write!(f, "engine: {e}"),
             SimError::Build(msg) => write!(f, "scenario build: {msg}"),
+            SimError::SpecParse { line, reason } => {
+                write!(f, "spec parse: line {line}: {reason}")
+            }
+            SimError::UnknownScenario { name, suggestion } => {
+                write!(f, "unknown scenario '{name}'")?;
+                if let Some(suggestion) = suggestion {
+                    write!(f, " (did you mean '{suggestion}'?)")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -52,13 +52,38 @@
 //! assert!(report.fully_denied());
 //! assert!(catalog().len() >= 6);
 //! ```
+//!
+//! ## Specs and sweeps
+//!
+//! Every scenario is *data*: a [`ScenarioSpec`] with enum-keyed
+//! [`AttackSpec`]/[`DefenseSpec`]/[`VictimSpec`] parts, a line-oriented
+//! [`to_text`](ScenarioSpec::to_text)/[`from_text`](ScenarioSpec::from_text)
+//! codec (the on-disk spec-file format) and
+//! [`Scenario::from_spec`] as the one construction path. Grids expand
+//! through [`sweep::SweepGrid`], execute on worker threads through
+//! [`sweep::SweepRunner`] (results deterministic, bit-identical to
+//! serial) and export through [`metrics::Table`]:
+//!
+//! ```
+//! use dlk_sim::sweep::{SweepGrid, SweepRunner};
+//! use dlk_sim::{metrics, DefenseSpec};
+//!
+//! let specs = SweepGrid::over(dlk_sim::find("hammer-vs-none").unwrap().spec)
+//!     .defenses([vec![], vec![DefenseSpec::locker_adjacent()]])
+//!     .expand();
+//! let reports = SweepRunner::parallel().run_reports(&specs).unwrap();
+//! println!("{}", metrics::Table::from_reports(&reports).to_csv());
+//! ```
 
 pub mod attack;
 pub mod catalog;
 pub mod error;
+pub mod metrics;
 pub mod mitigation;
 pub mod report;
 pub mod scenario;
+pub mod spec;
+pub mod sweep;
 pub mod victim;
 
 pub use crate::attack::{
@@ -73,6 +98,9 @@ pub use crate::mitigation::{
 };
 pub use crate::report::{AttackOutcome, MitigationReport, RunReport, VictimReport};
 pub use crate::scenario::{Budget, Scenario, ScenarioBuilder, ScenarioRun};
+pub use crate::spec::{AttackSpec, DefenseSpec, GeometrySpec, ScenarioSpec};
+pub use crate::sweep::{SweepGrid, SweepResult, SweepRunner};
 pub use crate::victim::{DeployedVictim, VictimSpec};
 
+pub use dlk_dnn::models::ModelKind;
 pub use dlk_engine::{ChannelRouter, EngineConfig, ShardedEngine, Workload};

@@ -95,6 +95,12 @@ impl LockerMitigation {
     }
 }
 
+impl From<LockerMitigation> for crate::spec::DefenseSpec {
+    fn from(m: LockerMitigation) -> Self {
+        crate::spec::DefenseSpec::Locker { config: m.config, target: m.target, radius: m.radius }
+    }
+}
+
 impl Mitigation for LockerMitigation {
     fn name(&self) -> &str {
         "dram-locker"
@@ -167,6 +173,12 @@ impl RowSwapMitigation {
     }
 }
 
+impl From<RowSwapMitigation> for crate::spec::DefenseSpec {
+    fn from(m: RowSwapMitigation) -> Self {
+        crate::spec::DefenseSpec::RowSwap { policy: m.policy, threshold: m.threshold, seed: m.seed }
+    }
+}
+
 impl Mitigation for RowSwapMitigation {
     fn name(&self) -> &str {
         match self.policy {
@@ -198,6 +210,12 @@ impl ShadowMitigation {
     /// A SHADOW defense shuffling at `threshold` activations.
     pub fn new(threshold: u64, seed: u64) -> Self {
         Self { threshold, seed }
+    }
+}
+
+impl From<ShadowMitigation> for crate::spec::DefenseSpec {
+    fn from(m: ShadowMitigation) -> Self {
+        crate::spec::DefenseSpec::Shadow { threshold: m.threshold, seed: m.seed }
     }
 }
 

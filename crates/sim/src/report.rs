@@ -138,6 +138,99 @@ impl RunReport {
     pub fn harmed(&self) -> bool {
         self.redirected || self.victims.iter().any(VictimReport::harmed)
     }
+
+    /// The scalar column names of [`to_csv_row`](RunReport::to_csv_row),
+    /// comma-joined. Per-defense action counts are folded into the one
+    /// `mitigations` column (`name:count` pairs); the sweep-level
+    /// [`metrics::Table`](crate::metrics::Table) splits them into real
+    /// columns instead.
+    pub fn csv_header() -> &'static str {
+        "scenario,attack,channels,defenses,requests,denied,landed_flips,redirected,\
+         accuracy_before_pct,accuracy_after_pct,accuracy_delta_pct,data_intact,\
+         cycles,energy_pj,mitigations"
+    }
+
+    /// This report as one CSV row matching
+    /// [`csv_header`](RunReport::csv_header).
+    pub fn to_csv_row(&self) -> String {
+        self.csv_cells().iter().map(|cell| csv_escape(cell)).collect::<Vec<_>>().join(",")
+    }
+
+    /// The cells of [`to_csv_row`](RunReport::to_csv_row), raw and
+    /// unjoined (shared with the sweep metrics table, which escapes —
+    /// like `to_csv_row` — only at CSV-serialization time).
+    pub(crate) fn csv_cells(&self) -> Vec<String> {
+        let victim = self.victims.first();
+        let opt_pct = |v: Option<f64>| v.map(|p| format!("{p:.2}")).unwrap_or_default();
+        let mitigations = self
+            .mitigations
+            .iter()
+            .map(|m| format!("{}:{}", m.name, m.actions))
+            .collect::<Vec<_>>()
+            .join("+");
+        vec![
+            self.scenario.clone(),
+            self.attack.clone(),
+            self.channels.to_string(),
+            self.defenses.join("+"),
+            self.requests.to_string(),
+            self.denied.to_string(),
+            self.landed_flips.to_string(),
+            self.redirected.to_string(),
+            opt_pct(victim.and_then(|v| v.accuracy_before_pct)),
+            opt_pct(victim.and_then(|v| v.accuracy_after_pct)),
+            format!("{:.2}", self.accuracy_delta_pct()),
+            victim.and_then(|v| v.data_intact).map(|intact| intact.to_string()).unwrap_or_default(),
+            self.cycles.to_string(),
+            format!("{:.1}", self.energy_pj),
+            mitigations,
+        ]
+    }
+}
+
+/// Quotes a CSV cell when it contains a delimiter or quote.
+pub(crate) fn csv_escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_owned()
+    }
+}
+
+/// An aligned, human-readable rendering of the whole report — what the
+/// examples print instead of hand-formatting fields.
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let defenses =
+            if self.defenses.is_empty() { "none".to_owned() } else { self.defenses.join("+") };
+        writeln!(f, "scenario        {}", self.scenario)?;
+        writeln!(f, "attack          {}", if self.attack.is_empty() { "-" } else { &self.attack })?;
+        writeln!(f, "channels        {}", self.channels)?;
+        writeln!(f, "defenses        {defenses}")?;
+        writeln!(
+            f,
+            "requests        {} ({} denied, {} flips landed)",
+            self.requests, self.denied, self.landed_flips
+        )?;
+        writeln!(f, "redirected      {}", self.redirected)?;
+        writeln!(f, "cycles          {}", self.cycles)?;
+        writeln!(f, "energy          {:.2} nJ", self.energy_pj / 1000.0)?;
+        for (index, victim) in self.victims.iter().enumerate() {
+            let accuracy = match (victim.accuracy_before_pct, victim.accuracy_after_pct) {
+                (Some(before), Some(after)) => format!("accuracy {before:.1}% -> {after:.1}%"),
+                _ => match victim.data_intact {
+                    Some(true) => "data intact".to_owned(),
+                    Some(false) => "data corrupted".to_owned(),
+                    None => "no measurement".to_owned(),
+                },
+            };
+            writeln!(f, "victim {index}        {accuracy}")?;
+        }
+        for mitigation in &self.mitigations {
+            writeln!(f, "defense actions {} = {}", mitigation.name, mitigation.actions)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -180,5 +273,50 @@ mod tests {
     fn fully_denied_requires_requests() {
         let outcome = AttackOutcome::default();
         assert!(!outcome.fully_denied());
+    }
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            scenario: "csv, quoted".into(),
+            attack: "hammer".into(),
+            channels: 2,
+            defenses: vec!["dram-locker".into(), "graphene".into()],
+            landed_flips: 0,
+            requests: 100,
+            denied: 100,
+            redirected: false,
+            target_bits: vec![],
+            flipped_bits: vec![],
+            curve: vec![],
+            cycles: 1234,
+            energy_pj: 5678.9,
+            controller: ControllerStats::default(),
+            victims: vec![VictimReport {
+                accuracy_before_pct: None,
+                accuracy_after_pct: None,
+                data_intact: Some(true),
+            }],
+            mitigations: vec![MitigationReport { name: "dram-locker".into(), actions: 7 }],
+        }
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity_and_escapes() {
+        let report = sample_report();
+        let header_cols = RunReport::csv_header().split(',').count();
+        // The quoted scenario cell contains a comma; count via cells.
+        assert_eq!(report.csv_cells().len(), header_cols);
+        let row = report.to_csv_row();
+        assert!(row.starts_with("\"csv, quoted\",hammer,2,dram-locker+graphene,100,100,0,false"));
+        assert!(row.contains("dram-locker:7"));
+    }
+
+    #[test]
+    fn display_is_aligned_and_complete() {
+        let text = sample_report().to_string();
+        assert!(text.contains("scenario        csv, quoted"), "{text}");
+        assert!(text.contains("defenses        dram-locker+graphene"));
+        assert!(text.contains("victim 0        data intact"));
+        assert!(text.contains("defense actions dram-locker = 7"));
     }
 }

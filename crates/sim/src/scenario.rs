@@ -1,10 +1,18 @@
-//! The builder-driven scenario pipeline.
+//! The scenario pipeline: spec in, report out.
 //!
 //! One object owns a run: device geometry, deployed victims, the
 //! mounted defense stack, the attack driver and its budget. Everything
 //! the workspace previously hand-wired (`MemCtrlConfig` →
 //! `MemoryController` → `WeightLayout::deploy` → `os_protect_range` →
 //! attack driver → ad-hoc defense mounting) goes through here.
+//!
+//! [`Scenario::from_spec`] is the one construction path: it resolves a
+//! declarative [`ScenarioSpec`] — geometry preset, engine shape,
+//! victims, attack, defense stack, budget — into a deployed
+//! [`ScenarioRun`]. [`ScenarioBuilder`] is sugar that assembles a spec
+//! method by method (and offers `custom_*` escape hatches for drivers
+//! and hooks that are code, not data — spy hooks in tests, one-off
+//! bench workloads).
 //!
 //! ```
 //! use dlk_sim::{Budget, HammerAttack, LockerMitigation, Scenario, VictimSpec};
@@ -23,16 +31,39 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The builder above assembles exactly the spec a file would:
+//!
+//! ```
+//! use dlk_sim::{Scenario, ScenarioSpec};
+//!
+//! # fn main() -> Result<(), dlk_sim::SimError> {
+//! let spec = ScenarioSpec::from_text(
+//!     "label doc\n\
+//!      victim rows home=0 protect=0 first=20 count=1 fill=0xa5\n\
+//!      attack hammer bit=7\n\
+//!      defense graphene capacity=64 threshold=8\n\
+//!      budget activations=1000 check=8 iterations=1\n",
+//! )?;
+//! let report = Scenario::from_spec(&spec)?.run()?;
+//! assert_eq!(report.landed_flips, 0);
+//! # Ok(())
+//! # }
+//! ```
 
-use dlk_dnn::QuantizedMlp;
-use dlk_engine::{EngineConfig, ShardedEngine};
-use dlk_memctrl::{MemCtrlConfig, MemoryController};
+use dlk_dnn::{QuantizedMlp, WeightLayout};
+use dlk_engine::{ChannelRouter, EngineConfig, ShardedEngine};
+use dlk_memctrl::{AddressMapper, MemCtrlConfig, MemoryController};
 
-use crate::attack::{Attack, RunEnv};
+use crate::attack::{
+    Attack, BfaHammerAttack, HammerAttack, InferenceStream, PageTablePoison, ProgressiveBfa,
+    RandomFlipAttack, ReplayWorkload, RowProbe, RunEnv,
+};
 use crate::error::SimError;
 use crate::mitigation::{HookChain, Mitigation, MountCtx};
 use crate::report::{AttackOutcome, MitigationReport, RunReport, VictimReport};
-use crate::victim::{DeployedVictim, VictimSpec};
+use crate::spec::{AttackSpec, DefenseSpec, GeometrySpec, ScenarioSpec};
+use crate::victim::{DeployedVictim, SpecKind, VictimSpec};
 
 /// The attack-side resource budget of a scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +82,8 @@ impl Default for Budget {
     }
 }
 
-/// Entry point of the unified simulation API: `Scenario::builder()`.
+/// Entry point of the unified simulation API: `Scenario::builder()` or
+/// [`Scenario::from_spec`].
 pub struct Scenario;
 
 impl Scenario {
@@ -59,46 +91,101 @@ impl Scenario {
     pub fn builder() -> ScenarioBuilder {
         ScenarioBuilder::new()
     }
+
+    /// The one construction path from a declarative spec to a deployed,
+    /// runnable pipeline: resolves the geometry preset, instantiates
+    /// the engine, trains/deploys the victims, resolves the attack
+    /// driver and mounts the defense stack on every channel shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Build`] for an empty victim list, a bad
+    /// target index, a zero channel count or an out-of-range home
+    /// channel, and propagates deployment/mount failures.
+    pub fn from_spec(spec: &ScenarioSpec) -> Result<ScenarioRun, SimError> {
+        ScenarioBuilder::from_spec(spec.clone()).build()
+    }
 }
 
-/// Builds a [`ScenarioRun`] from parts.
+/// One defense slot of a builder: declarative, or a custom mounted
+/// object (spy hooks, one-off bench defenses).
+enum DefenseSlot {
+    Spec(DefenseSpec),
+    Custom(Box<dyn Mitigation>),
+}
+
+/// Assembles a [`ScenarioSpec`] method by method, then builds it.
+///
+/// The builder *is* spec assembly: every declarative method writes one
+/// spec field, [`ScenarioBuilder::spec`] hands the assembled value
+/// back, and [`ScenarioBuilder::build`] routes through the same
+/// resolution path as [`Scenario::from_spec`]. The `custom_*` methods
+/// accept components that are code rather than data; a builder that
+/// used any of them no longer corresponds to a serializable spec.
 pub struct ScenarioBuilder {
-    label: String,
-    config: MemCtrlConfig,
-    engine: EngineConfig,
-    victims: Vec<(VictimSpec, usize)>,
-    attack: Option<Box<dyn Attack>>,
-    defenses: Vec<Box<dyn Mitigation>>,
-    budget: Budget,
-    eval_batch: usize,
-    target: usize,
+    spec: ScenarioSpec,
+    custom_geometry: Option<MemCtrlConfig>,
+    custom_attack: Option<Box<dyn Attack>>,
+    defenses: Vec<DefenseSlot>,
 }
 
 impl ScenarioBuilder {
     fn new() -> Self {
-        Self {
-            label: "unnamed".to_owned(),
-            config: MemCtrlConfig::tiny_for_tests(),
-            engine: EngineConfig::serial(),
-            victims: Vec::new(),
-            attack: None,
-            defenses: Vec::new(),
-            budget: Budget::default(),
-            eval_batch: 64,
-            target: 0,
+        Self::from_spec(ScenarioSpec::default())
+    }
+
+    /// A builder pre-loaded with `spec` (the catalog's path from an
+    /// entry to a tweakable builder).
+    pub fn from_spec(mut spec: ScenarioSpec) -> Self {
+        let defenses = spec.defenses.drain(..).map(DefenseSlot::Spec).collect();
+        Self { spec, custom_geometry: None, custom_attack: None, defenses }
+    }
+
+    /// The assembled spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Build`] when the builder holds `custom_*`
+    /// components, which have no data representation.
+    pub fn spec(&self) -> Result<ScenarioSpec, SimError> {
+        if self.custom_geometry.is_some() || self.custom_attack.is_some() {
+            return Err(SimError::Build(
+                "scenario uses a custom geometry/attack; not spec-representable".to_owned(),
+            ));
         }
+        let mut spec = self.spec.clone();
+        spec.defenses = Vec::with_capacity(self.defenses.len());
+        for slot in &self.defenses {
+            match slot {
+                DefenseSlot::Spec(defense) => spec.defenses.push(defense.clone()),
+                DefenseSlot::Custom(mitigation) => {
+                    return Err(SimError::Build(format!(
+                        "scenario mounts custom defense '{}'; not spec-representable",
+                        mitigation.name()
+                    )))
+                }
+            }
+        }
+        Ok(spec)
     }
 
     /// Names the scenario (shows up in the report).
     pub fn label(mut self, label: impl Into<String>) -> Self {
-        self.label = label.into();
+        self.spec.label = label.into();
         self
     }
 
-    /// Sets the *per-channel* device/controller configuration (default:
-    /// the tiny test geometry, TRH 16).
-    pub fn geometry(mut self, config: MemCtrlConfig) -> Self {
-        self.config = config;
+    /// Sets the *per-channel* device/controller preset (default:
+    /// [`GeometrySpec::Tiny`], the tiny test geometry with TRH 16).
+    pub fn geometry(mut self, geometry: GeometrySpec) -> Self {
+        self.spec.geometry = geometry;
+        self
+    }
+
+    /// Escape hatch: a free-form per-channel `MemCtrlConfig` instead of
+    /// a named preset. The resulting scenario is not spec-representable.
+    pub fn custom_geometry(mut self, config: MemCtrlConfig) -> Self {
+        self.custom_geometry = Some(config);
         self
     }
 
@@ -108,14 +195,14 @@ impl ScenarioBuilder {
     /// shard per DRAM channel — each with its own controller, device
     /// and mounted defense chain — and steps them on scoped threads.
     pub fn engine(mut self, engine: EngineConfig) -> Self {
-        self.engine = engine;
+        self.spec.engine = engine;
         self
     }
 
     /// Adds a victim on channel 0. Repeatable: later victims share the
     /// device (multi-tenant scenarios).
     pub fn victim(mut self, spec: VictimSpec) -> Self {
-        self.victims.push((spec, 0));
+        self.spec.victims.push((spec, 0));
         self
     }
 
@@ -124,38 +211,58 @@ impl ScenarioBuilder {
     /// data, OS protection and defense coverage all live on that
     /// channel's shard.
     pub fn victim_on(mut self, spec: VictimSpec, channel: usize) -> Self {
-        self.victims.push((spec, channel));
+        self.spec.victims.push((spec, channel));
         self
     }
 
-    /// Sets the attack (or benign workload) driver.
-    pub fn attack(mut self, attack: impl Attack + 'static) -> Self {
-        self.attack = Some(Box::new(attack));
+    /// Sets the attack (or benign workload) as data. Concrete driver
+    /// types ([`HammerAttack`], [`ProgressiveBfa`], …) convert
+    /// implicitly, so `.attack(HammerAttack::bit(7))` still reads as
+    /// before — it now records `AttackSpec::Hammer { bit: 7 }`.
+    pub fn attack(mut self, attack: impl Into<AttackSpec>) -> Self {
+        self.spec.attack = Some(attack.into());
         self
     }
 
-    /// Mounts a defense. Repeatable: multiple defenses stack into a
-    /// [`HookChain`] consulted in mount order.
-    pub fn defense(mut self, mitigation: impl Mitigation + 'static) -> Self {
-        self.defenses.push(Box::new(mitigation));
+    /// Escape hatch: an arbitrary [`Attack`] driver object. The
+    /// resulting scenario is not spec-representable.
+    pub fn custom_attack(mut self, attack: impl Attack + 'static) -> Self {
+        self.custom_attack = Some(Box::new(attack));
+        self
+    }
+
+    /// Mounts a defense as data. Repeatable: multiple defenses stack
+    /// into a [`HookChain`] consulted in mount order. The workspace
+    /// mitigations ([`crate::LockerMitigation`],
+    /// [`crate::RowSwapMitigation`], [`crate::ShadowMitigation`])
+    /// convert implicitly.
+    pub fn defense(mut self, defense: impl Into<DefenseSpec>) -> Self {
+        self.defenses.push(DefenseSlot::Spec(defense.into()));
+        self
+    }
+
+    /// Escape hatch: an arbitrary [`Mitigation`] object (spy hooks in
+    /// tests). The resulting scenario is not spec-representable.
+    pub fn custom_defense(mut self, mitigation: impl Mitigation + 'static) -> Self {
+        self.defenses.push(DefenseSlot::Custom(Box::new(mitigation)));
         self
     }
 
     /// Sets the attack budget.
     pub fn budget(mut self, budget: Budget) -> Self {
-        self.budget = budget;
+        self.spec.budget = budget;
         self
     }
 
     /// Held-out sample size for accuracy measurements (default 64).
     pub fn eval_batch(mut self, n: usize) -> Self {
-        self.eval_batch = n.max(1);
+        self.spec.eval_batch = n.max(1);
         self
     }
 
     /// Which victim the attack targets (default 0, the first).
     pub fn target_victim(mut self, index: usize) -> Self {
-        self.target = index;
+        self.spec.target = index;
         self
     }
 
@@ -168,30 +275,50 @@ impl ScenarioBuilder {
     /// target index, a zero channel count or an out-of-range home
     /// channel, and propagates deployment/mount failures.
     pub fn build(self) -> Result<ScenarioRun, SimError> {
-        if self.victims.is_empty() {
-            return Err(SimError::Build(format!("scenario '{}' has no victim", self.label)));
+        let spec = self.spec;
+        if spec.victims.is_empty() {
+            return Err(SimError::Build(format!("scenario '{}' has no victim", spec.label)));
         }
-        if self.target >= self.victims.len() {
+        if spec.target >= spec.victims.len() {
             return Err(SimError::Build(format!(
                 "target victim {} out of range ({} victims)",
-                self.target,
-                self.victims.len()
+                spec.target,
+                spec.victims.len()
             )));
         }
-        let channels = self.engine.channels;
-        if let Some(&(_, bad)) = self.victims.iter().find(|&&(_, channel)| channel >= channels) {
+        let channels = spec.engine.channels;
+        if let Some(&(_, bad)) = spec.victims.iter().find(|&&(_, channel)| channel >= channels) {
             return Err(SimError::Build(format!(
                 "victim homed on channel {bad}, but the engine has {channels} channels"
             )));
         }
-        let mut engine = ShardedEngine::new(self.engine, self.config)?;
+        let config = match self.custom_geometry {
+            Some(config) => config,
+            None => spec.geometry.config(),
+        };
+        let attack = match self.custom_attack {
+            Some(attack) => Some(attack),
+            None => match &spec.attack {
+                Some(attack_spec) => Some(resolve_attack(attack_spec, &spec, &config)?),
+                None => None,
+            },
+        };
+        let defenses: Vec<Box<dyn Mitigation>> = self
+            .defenses
+            .into_iter()
+            .map(|slot| match slot {
+                DefenseSlot::Spec(defense) => resolve_defense(&defense),
+                DefenseSlot::Custom(mitigation) => mitigation,
+            })
+            .collect();
+        let mut engine = ShardedEngine::new(spec.engine, config)?;
 
         // Deploy every victim on its home shard (shard-local
         // addressing: each channel is its own device).
-        let mut victims = Vec::with_capacity(self.victims.len());
-        let mut homes = Vec::with_capacity(self.victims.len());
-        for (spec, home) in self.victims {
-            victims.push(spec.deploy(engine.shard_mut(home).controller_mut())?);
+        let mut victims = Vec::with_capacity(spec.victims.len());
+        let mut homes = Vec::with_capacity(spec.victims.len());
+        for &(victim_spec, home) in &spec.victims {
+            victims.push(victim_spec.deploy(engine.shard_mut(home).controller_mut())?);
             homes.push(home);
         }
 
@@ -209,8 +336,8 @@ impl ScenarioBuilder {
                 mapper: shard.controller().mapper(),
                 guarded,
             };
-            let mut hooks = Vec::with_capacity(self.defenses.len());
-            for mitigation in &self.defenses {
+            let mut hooks = Vec::with_capacity(defenses.len());
+            for mitigation in &defenses {
                 hooks.push(mitigation.mount(&ctx)?);
             }
             match hooks.len() {
@@ -224,16 +351,93 @@ impl ScenarioBuilder {
             }
         }
         Ok(ScenarioRun {
-            label: self.label,
+            label: spec.label,
             engine,
             victims,
             homes,
-            attack: self.attack,
-            defenses: self.defenses,
-            budget: self.budget,
-            eval_batch: self.eval_batch,
-            target: self.target,
+            attack,
+            defenses,
+            budget: spec.budget,
+            eval_batch: spec.eval_batch,
+            target: spec.target,
         })
+    }
+}
+
+/// Resolves a declarative attack into its driver. [`AttackSpec::WeightFetch`]
+/// is the one derived variant: it records the target victim's
+/// weight-fetch trace against its layout (shard-local), lifts it to
+/// global addresses on the requested channel, and replays it.
+fn resolve_attack(
+    attack: &AttackSpec,
+    spec: &ScenarioSpec,
+    config: &MemCtrlConfig,
+) -> Result<Box<dyn Attack>, SimError> {
+    Ok(match attack {
+        AttackSpec::Hammer { bit } => Box::new(HammerAttack::bit(*bit)),
+        AttackSpec::RowProbe { accesses } => Box::new(RowProbe { accesses: *accesses }),
+        AttackSpec::BfaHammer { batch } => Box::new(BfaHammerAttack { batch: *batch }),
+        AttackSpec::ProgressiveBfa { success_rate, seed, config } => {
+            Box::new(ProgressiveBfa { success_rate: *success_rate, seed: *seed, config: *config })
+        }
+        AttackSpec::RandomFlip { seed } => Box::new(RandomFlipAttack::new(*seed)),
+        AttackSpec::PageTable { pfn_bit, payload_xor } => {
+            Box::new(PageTablePoison { pfn_bit: *pfn_bit, payload_xor: *payload_xor })
+        }
+        AttackSpec::InferenceStream { batches, chunk } => {
+            Box::new(InferenceStream { batches: *batches, chunk: *chunk })
+        }
+        AttackSpec::Replay { tenants } => match tenants.as_slice() {
+            [workload] => Box::new(ReplayWorkload::workload(workload)),
+            many => Box::new(ReplayWorkload::tenants(many)),
+        },
+        AttackSpec::ReplayTrace { trace } => Box::new(ReplayWorkload::trace(trace.clone())),
+        AttackSpec::WeightFetch { samples, chunk, channel } => {
+            let (victim_spec, _) = spec.victims.get(spec.target).ok_or_else(|| {
+                SimError::Build("weight-fetch replay needs a target victim".to_owned())
+            })?;
+            let SpecKind::Model { model, seed, base_phys } = victim_spec.kind else {
+                return Err(SimError::Build(
+                    "weight-fetch replay needs a contiguously deployed model victim".to_owned(),
+                ));
+            };
+            let victim = model.victim(seed);
+            let mapper = AddressMapper::new(config.dram.geometry, config.scheme);
+            let layout = WeightLayout::new(base_phys, mapper);
+            let local = layout.fetch_trace(&victim.model, *samples, *chunk)?;
+            let router = ChannelRouter::new(spec.engine.channels, &mapper);
+            let trace = router.globalize_trace(&local, *channel)?;
+            Box::new(ReplayWorkload::trace(trace))
+        }
+    })
+}
+
+/// Resolves a declarative defense into its mountable mitigation.
+fn resolve_defense(defense: &DefenseSpec) -> Box<dyn Mitigation> {
+    use crate::mitigation::{
+        LockerMitigation, RowSwapMitigation, ShadowMitigation, TrackerMitigation,
+    };
+    use dlk_defenses::{CounterPerRow, Graphene, Hydra, Twice};
+    match *defense {
+        DefenseSpec::Locker { config, target, radius } => {
+            Box::new(LockerMitigation::new(config, target).with_radius(radius))
+        }
+        DefenseSpec::Graphene { capacity, threshold } => {
+            Box::new(TrackerMitigation::new(Graphene::new(capacity, threshold)))
+        }
+        DefenseSpec::Hydra { group_size, group_threshold, row_threshold } => {
+            Box::new(TrackerMitigation::new(Hydra::new(group_size, group_threshold, row_threshold)))
+        }
+        DefenseSpec::Twice { threshold, prune_interval, prune_rate } => {
+            Box::new(TrackerMitigation::new(Twice::new(threshold, prune_interval, prune_rate)))
+        }
+        DefenseSpec::CounterPerRow { threshold } => {
+            Box::new(TrackerMitigation::new(CounterPerRow::new(threshold)))
+        }
+        DefenseSpec::RowSwap { policy, threshold, seed } => {
+            Box::new(RowSwapMitigation::new(policy, threshold, seed))
+        }
+        DefenseSpec::Shadow { threshold, seed } => Box::new(ShadowMitigation::new(threshold, seed)),
     }
 }
 
@@ -429,9 +633,7 @@ impl ScenarioRun {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::attack::{HammerAttack, RowProbe};
-    use crate::mitigation::{LockerMitigation, TrackerMitigation};
-    use dlk_defenses::Graphene;
+    use crate::mitigation::LockerMitigation;
 
     fn hammer_budget() -> Budget {
         Budget { max_activations: 4_000, check_interval: 8, iterations: 1 }
@@ -485,7 +687,7 @@ mod tests {
             .victim(VictimSpec::row(20, 0xA5))
             .attack(HammerAttack::bit(77))
             .defense(LockerMitigation::adjacent())
-            .defense(TrackerMitigation::new(Graphene::new(64, 8)))
+            .defense(DefenseSpec::graphene(64, 8))
             .budget(hammer_budget())
             .build()
             .unwrap();
@@ -511,6 +713,43 @@ mod tests {
         assert_eq!(report.denied, 100);
         // The integrity probe (trusted) was served via SWAP + redirect.
         assert_eq!(report.victims[0].data_intact, Some(true));
+    }
+
+    #[test]
+    fn builder_is_sugar_over_the_spec() {
+        let builder = Scenario::builder()
+            .label("spec-sugar")
+            .victim(VictimSpec::row(20, 0xA5))
+            .attack(HammerAttack::bit(77))
+            .defense(LockerMitigation::adjacent())
+            .budget(hammer_budget());
+        let spec = builder.spec().unwrap();
+        assert_eq!(spec.label, "spec-sugar");
+        assert_eq!(spec.attack, Some(AttackSpec::Hammer { bit: 77 }));
+        assert_eq!(spec.defenses.len(), 1);
+        // The same spec, round-tripped through the codec, reproduces
+        // the builder's run bit for bit.
+        let reparsed = ScenarioSpec::from_text(&spec.to_text()).unwrap();
+        let spec_report = Scenario::from_spec(&reparsed).unwrap().run().unwrap();
+        let builder_report = builder.build().unwrap().run().unwrap();
+        assert_eq!(spec_report, builder_report);
+    }
+
+    #[test]
+    fn custom_components_have_no_spec_form() {
+        struct Noop;
+        impl crate::attack::Attack for Noop {
+            fn name(&self) -> &str {
+                "noop"
+            }
+            fn execute(&mut self, _env: &mut RunEnv<'_>) -> Result<AttackOutcome, SimError> {
+                Ok(AttackOutcome::default())
+            }
+        }
+        let builder = Scenario::builder().victim(VictimSpec::row(5, 1)).custom_attack(Noop);
+        assert!(matches!(builder.spec(), Err(SimError::Build(_))));
+        // It still builds and runs — just not as data.
+        builder.build().unwrap().run().unwrap();
     }
 
     #[test]

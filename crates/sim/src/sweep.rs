@@ -1,0 +1,305 @@
+//! Grid expansion and parallel execution over scenario specs.
+//!
+//! The paper's results are grids — attack × defense × geometry sweeps
+//! reported as tables and figures. [`SweepGrid`] expands axes over a
+//! base [`ScenarioSpec`] into a flat, deterministic spec list;
+//! [`SweepRunner`] executes any spec list across scoped worker threads
+//! and returns results in spec order, bit-identical to running each
+//! spec serially (scenarios share no state, and each one's engine is
+//! already deterministic). Feed the reports to
+//! [`metrics::Table`](crate::metrics::Table) for CSV/markdown export.
+//!
+//! ```
+//! use dlk_sim::sweep::{SweepGrid, SweepRunner};
+//! use dlk_sim::{metrics, DefenseSpec};
+//!
+//! # fn main() -> Result<(), dlk_sim::SimError> {
+//! let base = dlk_sim::find("hammer-vs-none")?.spec;
+//! let specs = SweepGrid::over(base)
+//!     .channels([1, 2])
+//!     .defenses([vec![], vec![DefenseSpec::locker_adjacent()]])
+//!     .expand();
+//! assert_eq!(specs.len(), 4);
+//! let results = SweepRunner::parallel().run(&specs);
+//! let reports: Vec<_> = results.iter().filter_map(|r| r.report.as_ref().ok()).collect();
+//! let csv = metrics::Table::from_reports(reports.iter().copied()).to_csv();
+//! assert_eq!(csv.lines().count(), 1 + 4);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use dlk_dnn::models::ModelKind;
+
+use crate::error::SimError;
+use crate::report::RunReport;
+use crate::scenario::Scenario;
+use crate::spec::{AttackSpec, DefenseSpec, ScenarioSpec};
+
+/// Expands axes over a base spec into the cartesian spec list.
+///
+/// Every axis is optional; an unset axis keeps the base spec's value.
+/// Expansion order is deterministic: models (outermost) × attacks ×
+/// defense stacks × channels (innermost), each in the order given.
+/// Labels append one `/`-separated segment per set axis, so each
+/// expanded spec is self-describing in reports and tables.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    base: ScenarioSpec,
+    channels: Vec<usize>,
+    defenses: Vec<Vec<DefenseSpec>>,
+    attacks: Vec<AttackSpec>,
+    models: Vec<ModelKind>,
+}
+
+impl SweepGrid {
+    /// A grid over `base` with no axes set (expands to just `base`).
+    pub fn over(base: ScenarioSpec) -> Self {
+        Self {
+            base,
+            channels: Vec::new(),
+            defenses: Vec::new(),
+            attacks: Vec::new(),
+            models: Vec::new(),
+        }
+    }
+
+    /// Sweeps the engine's channel count. Parallelism within one run
+    /// follows the base spec's engine (`parallel` flag); a 1-channel
+    /// point is the classic serial pipeline.
+    pub fn channels(mut self, channels: impl IntoIterator<Item = usize>) -> Self {
+        self.channels = channels.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the defense stack (each element is one whole stack; use
+    /// `vec![]` for the undefended point).
+    pub fn defenses(mut self, stacks: impl IntoIterator<Item = Vec<DefenseSpec>>) -> Self {
+        self.defenses = stacks.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the attack.
+    pub fn attacks(mut self, attacks: impl IntoIterator<Item = AttackSpec>) -> Self {
+        self.attacks = attacks.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the victim model kind (applied to every model-backed
+    /// victim of the base spec, keeping each victim's seed and layout).
+    pub fn models(mut self, models: impl IntoIterator<Item = ModelKind>) -> Self {
+        self.models = models.into_iter().collect();
+        self
+    }
+
+    /// The expanded spec list.
+    pub fn expand(&self) -> Vec<ScenarioSpec> {
+        // Each axis expands to "keep the base value" when unset; `None`
+        // marks the kept point so labels only grow for real axes.
+        fn axis<T: Clone>(values: &[T]) -> Vec<Option<T>> {
+            if values.is_empty() {
+                vec![None]
+            } else {
+                values.iter().cloned().map(Some).collect()
+            }
+        }
+        let mut specs = Vec::new();
+        for model in axis(&self.models) {
+            for attack in axis(&self.attacks) {
+                for stack in axis(&self.defenses) {
+                    for channels in axis(&self.channels) {
+                        let mut spec = self.base.clone();
+                        let mut label = spec.label.clone();
+                        if let Some(model) = model {
+                            for (victim, _) in &mut spec.victims {
+                                *victim = victim.with_model_kind(model);
+                            }
+                            label.push_str(&format!("/{}", model.token()));
+                        }
+                        if let Some(attack) = &attack {
+                            spec.attack = Some(attack.clone());
+                            label.push_str(&format!("/{}", attack.token()));
+                        }
+                        if let Some(stack) = &stack {
+                            spec.defenses = stack.clone();
+                            let stack_label = if stack.is_empty() {
+                                "none".to_owned()
+                            } else {
+                                stack.iter().map(DefenseSpec::name).collect::<Vec<_>>().join("+")
+                            };
+                            label.push_str(&format!("/{stack_label}"));
+                        }
+                        if let Some(channels) = channels {
+                            spec.engine.channels = channels;
+                            label.push_str(&format!("/{channels}ch"));
+                        }
+                        spec.label = label;
+                        specs.push(spec);
+                    }
+                }
+            }
+        }
+        specs
+    }
+}
+
+/// One executed point of a sweep.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// The spec that ran.
+    pub spec: ScenarioSpec,
+    /// Its report, or the build/run failure.
+    pub report: Result<RunReport, SimError>,
+}
+
+/// Executes spec lists, optionally across scoped worker threads.
+///
+/// Results always come back in spec order, and each run is independent
+/// (own engine, own trained victim clones), so the parallel result set
+/// is bit-identical to the serial one — the determinism suite asserts
+/// exactly that.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// Runs every spec on the calling thread, in order.
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// Runs specs across one worker per available core.
+    pub fn parallel() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { threads }
+    }
+
+    /// Runs specs across exactly `threads` workers (at least one).
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes every spec and returns results in spec order.
+    pub fn run(&self, specs: &[ScenarioSpec]) -> Vec<SweepResult> {
+        let execute = |spec: &ScenarioSpec| Scenario::from_spec(spec).and_then(|mut run| run.run());
+        if self.threads == 1 || specs.len() <= 1 {
+            return specs
+                .iter()
+                .map(|spec| SweepResult { spec: spec.clone(), report: execute(spec) })
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<RunReport, SimError>>> = Vec::new();
+        slots.resize_with(specs.len(), || None);
+        let slots = Mutex::new(slots);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(specs.len()) {
+                scope.spawn(|| loop {
+                    // Work-stealing by index: whichever worker picks a
+                    // spec, its result lands in that spec's slot, so
+                    // scheduling never reorders results.
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(index) else { break };
+                    let report = execute(spec);
+                    slots.lock().expect("sweep result lock")[index] = Some(report);
+                });
+            }
+        });
+        let slots = slots.into_inner().expect("sweep result lock");
+        specs
+            .iter()
+            .zip(slots)
+            .map(|(spec, report)| SweepResult {
+                spec: spec.clone(),
+                report: report.expect("every index was executed"),
+            })
+            .collect()
+    }
+
+    /// Executes every spec and returns just the reports (in spec
+    /// order), failing on the first scenario error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing spec's error, by spec order.
+    pub fn run_reports(&self, specs: &[ScenarioSpec]) -> Result<Vec<RunReport>, SimError> {
+        self.run(specs).into_iter().map(|result| result.report).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::victim::VictimSpec;
+
+    fn base() -> ScenarioSpec {
+        ScenarioSpec {
+            victims: vec![(VictimSpec::row(20, 0xA5), 0)],
+            attack: Some(AttackSpec::Hammer { bit: 7 }),
+            ..ScenarioSpec::new("grid")
+        }
+    }
+
+    #[test]
+    fn unset_axes_expand_to_the_base_spec() {
+        let specs = SweepGrid::over(base()).expand();
+        assert_eq!(specs, vec![base()]);
+    }
+
+    #[test]
+    fn axes_multiply_and_label_deterministically() {
+        let specs = SweepGrid::over(base())
+            .channels([1, 2, 4])
+            .defenses([vec![], vec![DefenseSpec::locker_adjacent()]])
+            .expand();
+        assert_eq!(specs.len(), 6);
+        let labels: Vec<&str> = specs.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "grid/none/1ch",
+                "grid/none/2ch",
+                "grid/none/4ch",
+                "grid/dram-locker/1ch",
+                "grid/dram-locker/2ch",
+                "grid/dram-locker/4ch",
+            ]
+        );
+        assert_eq!(specs[2].engine.channels, 4);
+        assert!(specs[2].defenses.is_empty() && !specs[5].defenses.is_empty());
+    }
+
+    #[test]
+    fn model_axis_swaps_every_model_victim() {
+        use dlk_dnn::models::ModelKind;
+        let base = ScenarioSpec {
+            victims: vec![
+                (VictimSpec::model(ModelKind::Tiny, 42, 0x400), 0),
+                (VictimSpec::row(20, 0xA5), 0),
+            ],
+            ..ScenarioSpec::new("models")
+        };
+        let specs = SweepGrid::over(base).models([ModelKind::TinyCnn]).expand();
+        assert_eq!(specs[0].victims[0].0.model_kind(), Some(ModelKind::TinyCnn));
+        assert_eq!(specs[0].victims[1].0.model_kind(), None);
+        assert_eq!(specs[0].label, "models/tiny-cnn");
+    }
+
+    #[test]
+    fn runner_reports_errors_in_order_without_aborting_the_rest() {
+        let bad = ScenarioSpec::new("no-victim");
+        let results = SweepRunner::with_threads(2).run(&[bad.clone(), base()]);
+        assert_eq!(results.len(), 2);
+        assert!(results[0].report.is_err());
+        assert!(results[1].report.is_ok());
+        assert!(SweepRunner::serial().run_reports(&[bad]).is_err());
+    }
+}

@@ -1,13 +1,17 @@
 //! Victim specifications and their deployed form.
 //!
-//! A [`VictimSpec`] describes *what* lives in DRAM before the attack
-//! starts; [`ScenarioBuilder::victim`](crate::ScenarioBuilder::victim)
-//! accepts any number of them (multi-tenant scenarios deploy several
-//! victims on one device). Building the scenario turns each spec into a
+//! A [`VictimSpec`] is *data*: it names what lives in DRAM before the
+//! attack starts — raw rows, or a `(ModelKind, seed)` pair from the
+//! enumerable model zoo — so the whole spec can be compared, persisted
+//! through the scenario-spec codec and expanded by sweep grids.
+//! [`ScenarioBuilder::victim`](crate::ScenarioBuilder::victim) accepts
+//! any number of them (multi-tenant scenarios deploy several victims on
+//! one device). Building the scenario resolves the model (training is
+//! deterministic and memoized per seed) and turns each spec into a
 //! [`DeployedVictim`]: data written to the device, OS page protection
 //! installed, and the physical ranges defenses should guard recorded.
 
-use dlk_dnn::models::Victim;
+use dlk_dnn::models::{ModelKind, Victim};
 use dlk_dnn::{QuantizedMlp, WeightLayout};
 use dlk_dram::{DramDevice, RowAddr};
 use dlk_memctrl::{
@@ -16,22 +20,22 @@ use dlk_memctrl::{
 
 use crate::error::SimError;
 
-/// A victim workload to deploy on the device.
-#[derive(Debug, Clone)]
+/// A victim workload to deploy on the device, as plain data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VictimSpec {
-    kind: SpecKind,
-    os_protect: bool,
+    pub(crate) kind: SpecKind,
+    pub(crate) os_protect: bool,
 }
 
-#[derive(Debug, Clone)]
-enum SpecKind {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SpecKind {
     /// One or more raw data rows filled with a byte pattern.
     RowSpan { first_row: u64, rows: u64, fill: u8 },
     /// A quantized model deployed contiguously at a base address.
-    Model { victim: Victim, base_phys: u64 },
+    Model { model: ModelKind, seed: u64, base_phys: u64 },
     /// A quantized model deployed frame-by-frame behind a DRAM-resident
     /// page table (the §V page-table-attack substrate).
-    Paged { victim: Victim, page_size: u64, first_pfn: u64, table_base: u64 },
+    Paged { model: ModelKind, seed: u64, page_size: u64, first_pfn: u64, table_base: u64 },
 }
 
 impl VictimSpec {
@@ -47,20 +51,39 @@ impl VictimSpec {
         Self { kind: SpecKind::RowSpan { first_row, rows: rows.max(1), fill }, os_protect: false }
     }
 
-    /// A trained-and-quantized victim whose weight image is deployed at
-    /// `base_phys`. OS-protected by default (the MLaaS threat model:
-    /// the attacker cannot address the victim's own pages).
-    pub fn model(victim: Victim, base_phys: u64) -> Self {
-        Self { kind: SpecKind::Model { victim, base_phys }, os_protect: true }
+    /// The zoo victim `model` trained with `seed`, its weight image
+    /// deployed at `base_phys`. OS-protected by default (the MLaaS
+    /// threat model: the attacker cannot address the victim's own
+    /// pages).
+    pub fn model(model: ModelKind, seed: u64, base_phys: u64) -> Self {
+        Self { kind: SpecKind::Model { model, seed, base_phys }, os_protect: true }
     }
 
     /// A victim whose weight pages sit behind a DRAM-resident page
     /// table (defaults: 256-byte pages, first frame 8, table at 4096).
-    pub fn paged(victim: Victim) -> Self {
+    pub fn paged(model: ModelKind, seed: u64) -> Self {
         Self {
-            kind: SpecKind::Paged { victim, page_size: 256, first_pfn: 8, table_base: 4096 },
+            kind: SpecKind::Paged { model, seed, page_size: 256, first_pfn: 8, table_base: 4096 },
             os_protect: true,
         }
+    }
+
+    /// The victim's model kind, for model-backed specs.
+    pub fn model_kind(&self) -> Option<ModelKind> {
+        match self.kind {
+            SpecKind::Model { model, .. } | SpecKind::Paged { model, .. } => Some(model),
+            SpecKind::RowSpan { .. } => None,
+        }
+    }
+
+    /// Swaps the model kind of a model-backed spec (the sweep grid's
+    /// model axis); a no-op for raw-row victims.
+    pub fn with_model_kind(mut self, new: ModelKind) -> Self {
+        match &mut self.kind {
+            SpecKind::Model { model, .. } | SpecKind::Paged { model, .. } => *model = new,
+            SpecKind::RowSpan { .. } => {}
+        }
+        self
     }
 
     /// Overrides the paging layout of a [`VictimSpec::paged`] victim.
@@ -80,8 +103,9 @@ impl VictimSpec {
         self
     }
 
-    /// Writes the victim into DRAM and registers OS protection.
-    pub(crate) fn deploy(self, ctrl: &mut MemoryController) -> Result<DeployedVictim, SimError> {
+    /// Writes the victim into DRAM and registers OS protection,
+    /// resolving `(ModelKind, seed)` into its trained victim.
+    pub(crate) fn deploy(&self, ctrl: &mut MemoryController) -> Result<DeployedVictim, SimError> {
         let mapper = *ctrl.mapper();
         let row_bytes = mapper.geometry().row_bytes as u64;
         match self.kind {
@@ -103,7 +127,8 @@ impl VictimSpec {
                     kind: DeployedKind::Rows { addrs, start, fill },
                 })
             }
-            SpecKind::Model { victim, base_phys } => {
+            SpecKind::Model { model, seed, base_phys } => {
+                let victim = model.victim(seed);
                 let layout = WeightLayout::new(base_phys, mapper);
                 layout.deploy(&victim.model, ctrl.dram_mut())?;
                 let (start, end) = layout.phys_range(&victim.model);
@@ -115,7 +140,8 @@ impl VictimSpec {
                     kind: DeployedKind::Model { victim, layout },
                 })
             }
-            SpecKind::Paged { victim, page_size, first_pfn, table_base } => {
+            SpecKind::Paged { model, seed, page_size, first_pfn, table_base } => {
+                let victim = model.victim(seed);
                 let weight_bytes = victim.model.weight_bytes();
                 let pages = (weight_bytes.len() as u64).div_ceil(page_size);
                 let table = PageTable::new(PageTableConfig {

@@ -9,9 +9,8 @@
 //! a window — 9.6% of the time (§IV-D) — so the attacker needs an order
 //! of magnitude more iterations for the same damage.
 
-use dlk_dnn::models::{self, Victim};
-use dlk_memctrl::MemCtrlConfig;
-use dlk_sim::{Budget, ProgressiveBfa, Scenario, VictimSpec};
+use dlk_dnn::models::ModelKind;
+use dlk_sim::{Budget, GeometrySpec, ProgressiveBfa, Scenario, VictimSpec};
 
 use crate::report::Series;
 
@@ -42,22 +41,24 @@ impl Fig8Panel {
 }
 
 const WEIGHT_BASE: u64 = 0x400;
+const MODEL_SEED: u64 = 42;
 
-fn attack(victim: &Victim, iterations: usize, success_rate: f64, seed: u64) -> Series {
+fn attack(model: ModelKind, iterations: usize, success_rate: f64, seed: u64) -> Series {
     let label = if success_rate >= 1.0 { "without DRAM-Locker" } else { "with DRAM-Locker" };
     // The big models outgrow the tiny test device; Fig. 8 deploys onto
     // the paper-scale default geometry when the image would not fit.
-    let tiny = MemCtrlConfig::tiny_for_tests();
+    let tiny = GeometrySpec::Tiny.config();
+    let victim = model.victim(MODEL_SEED);
     let image_end = WEIGHT_BASE + victim.model.total_weights() as u64;
     let geometry = if image_end <= tiny.dram.geometry.capacity_bytes() {
-        tiny
+        GeometrySpec::Tiny
     } else {
-        MemCtrlConfig::default()
+        GeometrySpec::Paper
     };
     let report = Scenario::builder()
         .label(label)
         .geometry(geometry)
-        .victim(VictimSpec::model(victim.clone(), WEIGHT_BASE))
+        .victim(VictimSpec::model(model, MODEL_SEED, WEIGHT_BASE))
         .attack(ProgressiveBfa::new(success_rate, seed))
         .budget(Budget { max_activations: 0, check_interval: 1, iterations })
         .eval_batch(128)
@@ -73,29 +74,22 @@ fn attack(victim: &Victim, iterations: usize, success_rate: f64, seed: u64) -> S
 }
 
 /// Runs one panel.
-pub fn run_panel(victim: &Victim, label: &str, iterations: usize) -> Fig8Panel {
+pub fn run_panel(model: ModelKind, label: &str, iterations: usize) -> Fig8Panel {
     Fig8Panel {
         label: label.to_owned(),
-        without_locker: attack(victim, iterations, 1.0, 8),
-        with_locker: attack(victim, iterations, DEFENDED_SUCCESS_RATE, 8),
+        without_locker: attack(model, iterations, 1.0, 8),
+        with_locker: attack(model, iterations, DEFENDED_SUCCESS_RATE, 8),
     }
 }
 
 /// Runs both panels.
 pub fn run(fidelity: Fidelity) -> Vec<Fig8Panel> {
     match fidelity {
-        Fidelity::Fast => {
-            let victim = models::victim_tiny(42);
-            vec![run_panel(&victim, "tiny (fast mode)", 20)]
-        }
-        Fidelity::Full => {
-            let a = models::victim_resnet20_cifar10(42);
-            let b = models::victim_vgg11_cifar100(42);
-            vec![
-                run_panel(&a, "ResNet-20 / CIFAR-10", 100),
-                run_panel(&b, "VGG-11 / CIFAR-100", 100),
-            ]
-        }
+        Fidelity::Fast => vec![run_panel(ModelKind::Tiny, "tiny (fast mode)", 20)],
+        Fidelity::Full => vec![
+            run_panel(ModelKind::Resnet20, "ResNet-20 / CIFAR-10", 100),
+            run_panel(ModelKind::Vgg11, "VGG-11 / CIFAR-100", 100),
+        ],
     }
 }
 

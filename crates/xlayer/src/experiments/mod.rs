@@ -13,11 +13,13 @@
 //! | [`pta`] | §V prose — PTA evaluation |
 //! | [`overhead_inference`] | Table II prose — defense cost on victim traffic |
 //! | [`generations`] | Fig. 1(b) × Fig. 7(b) — sweep across DRAM generations |
+//! | [`defense_grid`] | channel × defense sweep through the spec-driven runner |
 //!
 //! Every experiment takes a [`Fidelity`]: `Fast` shrinks models and
 //! budgets for CI/tests; `Full` reproduces the paper-scale run used by
 //! the benches and EXPERIMENTS.md.
 
+pub mod defense_grid;
 pub mod dl_model;
 pub mod fig1a;
 pub mod fig1b;

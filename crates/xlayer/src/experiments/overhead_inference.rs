@@ -9,7 +9,7 @@
 //! only cost is the one-cycle lock-table check per request — which is
 //! the argument for the adjacent-row policy in §IV-A.
 
-use dlk_dnn::models;
+use dlk_dnn::models::ModelKind;
 use dlk_locker::LockTarget;
 use dlk_sim::{InferenceStream, LockerMitigation, Scenario, SimError, VictimSpec};
 
@@ -35,7 +35,7 @@ fn stream_weights(lock_target: Option<LockTarget>) -> Result<OverheadRun, SimErr
     };
     let mut builder = Scenario::builder()
         .label(label.clone())
-        .victim(VictimSpec::model(models::victim_tiny(3), 0x400))
+        .victim(VictimSpec::model(ModelKind::Tiny, 3, 0x400))
         .attack(InferenceStream { batches: 10, chunk: 32 });
     builder = match lock_target {
         None => builder,

@@ -10,7 +10,7 @@
 //! page-table rows (locking their aggressor-candidate neighbours),
 //! every hammer access is denied and the weights survive untouched.
 
-use dlk_dnn::models;
+use dlk_dnn::models::ModelKind;
 use dlk_sim::{
     Budget, LockerMitigation, PageTablePoison, Scenario, ScenarioBuilder, SimError, VictimSpec,
 };
@@ -36,7 +36,7 @@ pub struct PtaRun {
 pub fn scenario(defended: bool) -> ScenarioBuilder {
     let builder = Scenario::builder()
         .label(if defended { "with DRAM-Locker" } else { "without DRAM-Locker" })
-        .victim(VictimSpec::paged(models::victim_tiny(21)))
+        .victim(VictimSpec::paged(ModelKind::Tiny, 21))
         .attack(PageTablePoison { pfn_bit: 1, payload_xor: 0x80 })
         .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 1 })
         .eval_batch(64);

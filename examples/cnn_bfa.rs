@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run --release --example cnn_bfa`
 
-use dram_locker::sim::find;
+use dram_locker::sim::{find, RunReport};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let undefended = find("cnn-bfa-vs-none").expect("catalog entry").scenario().build()?.run()?;
@@ -19,20 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         find("cnn-bfa-vs-dram-locker").expect("catalog entry").scenario().build()?.run()?;
 
     println!("== Progressive BFA vs ResNet-20-shaped CNN ==");
+    println!("{}", RunReport::csv_header());
     for report in [&undefended, &defended] {
-        let defense =
-            if report.defenses.is_empty() { "no defense" } else { "dram-locker (9.6% land)" };
-        println!(
-            "{:24} landed {} of {} chosen flips, accuracy {:.1}% -> {:.1}%",
-            defense,
-            report.landed_flips,
-            report.target_bits.len(),
-            report.victims[0].accuracy_before_pct.unwrap_or(0.0),
-            report.victims[0].accuracy_after_pct.unwrap_or(0.0),
-        );
+        println!("{}", report.to_csv_row());
         let curve: Vec<String> =
             report.curve.iter().map(|(i, acc)| format!("{i}:{acc:.0}%")).collect();
-        println!("{:24} trajectory {}", "", curve.join(" "));
+        println!("  trajectory {}", curve.join(" "));
     }
 
     // The flips that landed name conv kernels: BitIndex.layer indexes

@@ -4,14 +4,10 @@
 //!
 //! Run with: `cargo run --release --example defense_comparison`
 
-use dram_locker::defenses::{CounterPerRow, Graphene, Hydra, SwapPolicy, Twice};
-use dram_locker::sim::{
-    Budget, HammerAttack, LockerMitigation, Mitigation, RowSwapMitigation, Scenario,
-    ShadowMitigation, TrackerMitigation, VictimSpec,
-};
+use dram_locker::sim::{Budget, DefenseSpec, HammerAttack, Scenario, VictimSpec};
 use dram_locker::xlayer::experiments::table1;
 
-fn campaign(defense: Option<Box<dyn Mitigation>>) -> (bool, u64, u64) {
+fn campaign(defense: Option<DefenseSpec>) -> (bool, u64, u64) {
     // TRH = 16 on the tiny test geometry (the builder's default).
     let mut builder = Scenario::builder()
         .label("defense-comparison")
@@ -29,18 +25,18 @@ fn main() {
     println!("hammer campaign against row 20, TRH = 16, budget 5000 activations\n");
     println!("{:<18} {:>8} {:>10} {:>8}", "defense", "flipped", "requests", "denied");
 
-    let rows: Vec<(&str, Option<Box<dyn Mitigation>>)> = vec![
+    let rows: Vec<(&str, Option<DefenseSpec>)> = vec![
         ("none", None),
-        ("graphene", Some(Box::new(TrackerMitigation::new(Graphene::new(64, 8))))),
-        ("hydra", Some(Box::new(TrackerMitigation::new(Hydra::new(16, 4, 8))))),
-        ("twice", Some(Box::new(TrackerMitigation::new(Twice::new(8, 64, 1))))),
-        ("counter-per-row", Some(Box::new(TrackerMitigation::new(CounterPerRow::new(8))))),
-        ("rrs", Some(Box::new(RowSwapMitigation::new(SwapPolicy::Randomized, 8, 1)))),
-        ("srs", Some(Box::new(RowSwapMitigation::new(SwapPolicy::Secure, 8, 1)))),
-        ("shadow", Some(Box::new(ShadowMitigation::new(8, 1)))),
+        ("graphene", Some(DefenseSpec::graphene(64, 8))),
+        ("hydra", Some(DefenseSpec::hydra(16, 4, 8))),
+        ("twice", Some(DefenseSpec::twice(8, 64, 1))),
+        ("counter-per-row", Some(DefenseSpec::counter_per_row(8))),
+        ("rrs", Some(DefenseSpec::rrs(8, 1))),
+        ("srs", Some(DefenseSpec::srs(8, 1))),
+        ("shadow", Some(DefenseSpec::shadow(8, 1))),
         // The protection plan locks the aggressor-candidate rows
         // around the guarded victim row.
-        ("dram-locker", Some(Box::new(LockerMitigation::adjacent()))),
+        ("dram-locker", Some(DefenseSpec::locker_adjacent())),
     ];
 
     for (name, defense) in rows {

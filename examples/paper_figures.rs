@@ -8,8 +8,8 @@
 
 use dram_locker::sim;
 use dram_locker::xlayer::experiments::{
-    fig1a, fig1b, fig7a, fig7b, fig8, generations, mc_variation, overhead_inference, pta, table1,
-    table2, Fidelity,
+    defense_grid, fig1a, fig1b, fig7a, fig7b, fig8, generations, mc_variation, overhead_inference,
+    pta, table1, table2, Fidelity,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,10 +36,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", overhead_inference::run()?);
     println!("{}", generations::run());
 
-    println!("scenario catalog (run any with sim::find(name)):");
+    println!("scenario catalog (run any with sim::find(name); every entry is a spec file):");
     for entry in sim::catalog() {
         println!("  {:<28} {:<20} {}", entry.name, entry.artifact, entry.description);
     }
+
+    // The channel × defense grid through the parallel sweep runner —
+    // the CSV below is the figure data CI surfaces in the job log.
+    let grid = defense_grid::run()?;
+    println!("\nsweep: hammer campaign over {{1,2,4 channels}} x {{none, dram-locker}}");
+    println!("{grid}");
+    println!("-- begin defense_grid.csv --");
+    print!("{}", grid.to_csv());
+    println!("-- end defense_grid.csv --");
 
     println!("done — compare against EXPERIMENTS.md");
     Ok(())

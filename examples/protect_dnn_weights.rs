@@ -14,7 +14,7 @@
 //!
 //! Run with: `cargo run --release --example protect_dnn_weights`
 
-use dram_locker::dnn::models;
+use dram_locker::dnn::models::{self, ModelKind};
 use dram_locker::sim::{BfaHammerAttack, Budget, LockerMitigation, Scenario, VictimSpec};
 
 const WEIGHT_BASE: u64 = 0x400;
@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let run = |defended: bool| -> Result<(f64, u64), Box<dyn std::error::Error>> {
         let mut builder = Scenario::builder()
             .label(if defended { "with DRAM-Locker" } else { "without DRAM-Locker" })
-            .victim(VictimSpec::model(victim.clone(), WEIGHT_BASE))
+            .victim(VictimSpec::model(ModelKind::Tiny, 21, WEIGHT_BASE))
             .attack(BfaHammerAttack { batch: 48 })
             .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 1 })
             .eval_batch(48);

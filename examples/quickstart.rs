@@ -38,10 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(!done.denied);
     assert_eq!(done.data.as_deref(), Some(&[0x42u8; 4][..]));
 
-    // 4. Defense bookkeeping comes with the report.
-    for mitigation in &report.mitigations {
-        println!("defense {}: {} defensive actions", mitigation.name, mitigation.actions);
-    }
-    println!("controller stats: {:?}", report.controller);
+    // 4. Defense bookkeeping comes with the report — the report's
+    //    Display impl renders the whole thing aligned.
+    println!("\n{report}");
     Ok(())
 }

@@ -12,7 +12,7 @@
 
 use dram_locker::memctrl::Trace;
 use dram_locker::sim::{
-    EngineConfig, LockerMitigation, ReplayWorkload, RunReport, Scenario, VictimSpec, Workload,
+    AttackSpec, EngineConfig, LockerMitigation, RunReport, Scenario, VictimSpec, Workload,
 };
 
 const ROW_BYTES: u64 = 64; // tiny geometry
@@ -37,7 +37,7 @@ fn replay(engine: EngineConfig, trace: &Trace, defended: bool) -> RunReport {
         // Two tenants' secrets, homed on different channels.
         .victim_on(VictimSpec::row(20, 0xA5), 0)
         .victim_on(VictimSpec::row(20, 0x5A), 1)
-        .attack(ReplayWorkload::trace(trace.clone()));
+        .attack(AttackSpec::trace(trace.clone()));
     if defended {
         builder = builder.defense(LockerMitigation::adjacent());
     }

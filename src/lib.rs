@@ -47,14 +47,14 @@
 //! stepped on scoped threads, merged deterministically:
 //!
 //! ```
-//! use dram_locker::sim::{EngineConfig, ReplayWorkload, Scenario, VictimSpec, Workload};
+//! use dram_locker::sim::{AttackSpec, EngineConfig, Scenario, VictimSpec, Workload};
 //!
 //! # fn main() -> Result<(), dram_locker::sim::SimError> {
 //! let mut run = Scenario::builder()
 //!     .engine(EngineConfig::sharded(2))
 //!     .victim_on(VictimSpec::row(20, 0xA5), 0)
 //!     .victim_on(VictimSpec::row(20, 0x5A), 1)
-//!     .attack(ReplayWorkload::workload(&Workload::Sequential { base: 0, len: 8, count: 256 }))
+//!     .attack(AttackSpec::replay(Workload::Sequential { base: 0, len: 8, count: 256 }))
 //!     .build()?;
 //! let report = run.run()?;
 //! assert_eq!(report.channels, 2);
@@ -62,6 +62,17 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Specs, sweeps, metrics
+//!
+//! Every scenario — including each catalog entry — is a declarative
+//! [`sim::ScenarioSpec`] with a line-oriented spec-file codec
+//! ([`sim::ScenarioSpec::to_text`] / [`sim::ScenarioSpec::from_text`]);
+//! [`sim::Scenario::from_spec`] is the one construction path and the
+//! builder above is sugar over it. Grids expand through
+//! [`sim::sweep::SweepGrid`], run across worker threads through
+//! [`sim::sweep::SweepRunner`] (bit-identical to serial) and export
+//! CSV/markdown through [`sim::metrics::Table`].
 
 pub use dlk_attacks as attacks;
 pub use dlk_defenses as defenses;

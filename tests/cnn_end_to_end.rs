@@ -5,10 +5,11 @@
 //! engines, under attack and under the locker defense.
 
 use dram_locker::dnn::models;
+use dram_locker::dnn::models::ModelKind;
 use dram_locker::dnn::{QuantizedMlp, WeightLayout};
 use dram_locker::memctrl::{AddressMapper, MemCtrlConfig};
 use dram_locker::sim::{
-    find, BfaHammerAttack, Budget, ChannelRouter, EngineConfig, LockerMitigation, ReplayWorkload,
+    find, AttackSpec, BfaHammerAttack, Budget, ChannelRouter, EngineConfig, LockerMitigation,
     Scenario, VictimSpec,
 };
 
@@ -37,8 +38,8 @@ fn resnet20_cnn_reports_identical_on_serial_and_sharded_engines() {
         Scenario::builder()
             .label("cnn-sharded-identity")
             .engine(engine)
-            .victim(VictimSpec::model(victim.clone(), WEIGHT_BASE))
-            .attack(ReplayWorkload::trace(fetch_trace(&victim.model, 2)))
+            .victim(VictimSpec::model(ModelKind::Resnet20Cnn, 42, WEIGHT_BASE))
+            .attack(AttackSpec::trace(fetch_trace(&victim.model, 2)))
             .defense(LockerMitigation::adjacent())
             .build()
             .expect("scenario builds")
@@ -98,7 +99,7 @@ fn physical_bfa_corrupts_a_conv_kernel_and_locker_denies_it() {
     let victim = models::victim_tiny_cnn(7);
     let setup = |defended: bool| {
         let mut builder = Scenario::builder()
-            .victim(VictimSpec::model(victim.clone(), WEIGHT_BASE))
+            .victim(VictimSpec::model(ModelKind::TinyCnn, 7, WEIGHT_BASE))
             .attack(BfaHammerAttack { batch: 32 })
             .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 1 })
             .eval_batch(32);

@@ -12,13 +12,9 @@
 //!   survives (the report's integrity probe follows the remap);
 //! - DRAM-Locker: aggressor accesses are denied outright.
 
-use dram_locker::defenses::{CounterPerRow, Graphene, Hydra, SwapPolicy, Twice};
-use dram_locker::sim::{
-    Budget, HammerAttack, LockerMitigation, Mitigation, RowSwapMitigation, RunReport, Scenario,
-    ShadowMitigation, TrackerMitigation, VictimSpec,
-};
+use dram_locker::sim::{Budget, DefenseSpec, HammerAttack, RunReport, Scenario, VictimSpec};
 
-fn campaign(defense: Option<Box<dyn Mitigation>>) -> RunReport {
+fn campaign(defense: Option<DefenseSpec>) -> RunReport {
     let mut builder = Scenario::builder()
         .label("defense-matrix")
         .victim(VictimSpec::row(20, 0xA5))
@@ -40,44 +36,44 @@ fn no_defense_fails() {
 #[test]
 fn graphene_prevents_the_flip() {
     // Mitigation threshold below TRH=16.
-    let report = campaign(Some(Box::new(TrackerMitigation::new(Graphene::new(64, 8)))));
+    let report = campaign(Some(DefenseSpec::graphene(64, 8)));
     assert_eq!(report.landed_flips, 0, "{report:?}");
     assert!(report.mitigation_total() > 0, "graphene must have refreshed: {report:?}");
 }
 
 #[test]
 fn hydra_prevents_the_flip() {
-    let report = campaign(Some(Box::new(TrackerMitigation::new(Hydra::new(16, 4, 8)))));
+    let report = campaign(Some(DefenseSpec::hydra(16, 4, 8)));
     assert_eq!(report.landed_flips, 0, "{report:?}");
 }
 
 #[test]
 fn twice_prevents_the_flip() {
-    let report = campaign(Some(Box::new(TrackerMitigation::new(Twice::new(8, 64, 1)))));
+    let report = campaign(Some(DefenseSpec::twice(8, 64, 1)));
     assert_eq!(report.landed_flips, 0, "{report:?}");
 }
 
 #[test]
 fn counter_per_row_prevents_the_flip() {
-    let report = campaign(Some(Box::new(TrackerMitigation::new(CounterPerRow::new(8)))));
+    let report = campaign(Some(DefenseSpec::counter_per_row(8)));
     assert_eq!(report.landed_flips, 0, "{report:?}");
 }
 
 #[test]
 fn rrs_preserves_victim_data() {
-    let report = campaign(Some(Box::new(RowSwapMitigation::new(SwapPolicy::Randomized, 8, 5))));
+    let report = campaign(Some(DefenseSpec::rrs(8, 5)));
     assert_eq!(report.victims[0].data_intact, Some(true), "{report:?}");
 }
 
 #[test]
 fn srs_preserves_victim_data() {
-    let report = campaign(Some(Box::new(RowSwapMitigation::new(SwapPolicy::Secure, 8, 5))));
+    let report = campaign(Some(DefenseSpec::srs(8, 5)));
     assert_eq!(report.victims[0].data_intact, Some(true), "{report:?}");
 }
 
 #[test]
 fn shadow_preserves_victim_data() {
-    let report = campaign(Some(Box::new(ShadowMitigation::new(8, 5))));
+    let report = campaign(Some(DefenseSpec::shadow(8, 5)));
     assert_eq!(report.victims[0].data_intact, Some(true), "{report:?}");
 }
 
@@ -85,7 +81,7 @@ fn shadow_preserves_victim_data() {
 fn dram_locker_denies_instead_of_refreshing() {
     // The adjacent-row protection plan locks rows 19 and 21 around the
     // guarded victim row — exactly the aggressor candidates.
-    let report = campaign(Some(Box::new(LockerMitigation::adjacent())));
+    let report = campaign(Some(DefenseSpec::locker_adjacent()));
     assert_eq!(report.landed_flips, 0, "{report:?}");
     assert!(report.fully_denied(), "DRAM-Locker denies rather than mitigates: {report:?}");
     assert_eq!(report.victims[0].data_intact, Some(true));
@@ -94,7 +90,7 @@ fn dram_locker_denies_instead_of_refreshing() {
 #[test]
 fn counter_defenses_allow_but_mitigate() {
     // Counter-based defenses never deny; they serve and refresh.
-    let report = campaign(Some(Box::new(TrackerMitigation::new(Graphene::new(64, 8)))));
+    let report = campaign(Some(DefenseSpec::graphene(64, 8)));
     assert_eq!(report.denied, 0);
     assert!(report.requests > 0);
     assert_eq!(report.mitigations.len(), 1);

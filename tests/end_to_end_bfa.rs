@@ -4,16 +4,16 @@
 //! the memory controller, and the victim reloading weights from DRAM —
 //! with and without DRAM-Locker.
 
-use dram_locker::dnn::models::{self, Victim};
+use dram_locker::dnn::models::{self, ModelKind};
 use dram_locker::sim::{
     BfaHammerAttack, Budget, LockerMitigation, Scenario, ScenarioRun, VictimSpec,
 };
 
 const WEIGHT_BASE: u64 = 0x400;
 
-fn setup(victim: &Victim, defended: bool) -> ScenarioRun {
+fn setup(seed: u64, defended: bool) -> ScenarioRun {
     let mut builder = Scenario::builder()
-        .victim(VictimSpec::model(victim.clone(), WEIGHT_BASE))
+        .victim(VictimSpec::model(ModelKind::Tiny, seed, WEIGHT_BASE))
         .attack(BfaHammerAttack { batch: 48 })
         .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 1 })
         .eval_batch(32);
@@ -26,7 +26,7 @@ fn setup(victim: &Victim, defended: bool) -> ScenarioRun {
 #[test]
 fn undefended_hammer_lands_and_corrupts_the_model() {
     let victim = models::victim_tiny(31);
-    let mut run = setup(&victim, false);
+    let mut run = setup(31, false);
     let report = run.run().expect("campaign runs");
     assert_eq!(report.landed_flips, 1, "{report:?}");
     assert_eq!(report.denied, 0);
@@ -44,7 +44,7 @@ fn undefended_hammer_lands_and_corrupts_the_model() {
 #[test]
 fn dram_locker_denies_the_same_campaign() {
     let victim = models::victim_tiny(31);
-    let mut run = setup(&victim, true);
+    let mut run = setup(31, true);
     let report = run.run().expect("campaign runs");
     assert_eq!(report.landed_flips, 0, "{report:?}");
     assert!(report.fully_denied(), "{report:?}");
@@ -59,7 +59,7 @@ fn victim_traffic_still_flows_under_protection() {
     // correctly while the lock table is armed (no attack phase here).
     let victim = models::victim_tiny(32);
     let mut run = Scenario::builder()
-        .victim(VictimSpec::model(victim.clone(), WEIGHT_BASE))
+        .victim(VictimSpec::model(ModelKind::Tiny, 32, WEIGHT_BASE))
         .defense(LockerMitigation::adjacent())
         .build()
         .expect("scenario builds");
@@ -74,8 +74,7 @@ fn victim_traffic_still_flows_under_protection() {
 fn attack_cost_scales_with_trh() {
     // The attacker pays at least TRH activations per flip — the knob
     // behind every defense-time argument in the paper.
-    let victim = models::victim_tiny(33);
-    let mut run = setup(&victim, false);
+    let mut run = setup(33, false);
     let trh = run.controller().dram().config().hammer.trh;
     let report = run.run().expect("campaign runs");
     assert_eq!(report.landed_flips, 1);

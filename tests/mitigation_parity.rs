@@ -74,7 +74,7 @@ proptest! {
         let report = Scenario::builder()
             .victim(VictimSpec::row(victim_row, fill))
             .attack(HammerAttack::bit(bit))
-            .defense(TrackerMitigation::new(tracker))
+            .custom_defense(TrackerMitigation::new(tracker))
             .budget(Budget { max_activations: budget, check_interval: 8, iterations: 1 })
             .build()
             .expect("scenario builds")

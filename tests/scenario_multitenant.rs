@@ -2,7 +2,7 @@
 //! attack on tenant A must not perturb tenant B — the first step toward
 //! the ROADMAP's multi-tenant workload.
 
-use dram_locker::dnn::models;
+use dram_locker::dnn::models::{self, ModelKind};
 use dram_locker::sim::{
     BfaHammerAttack, Budget, LockerMitigation, Scenario, ScenarioRun, VictimSpec,
 };
@@ -13,8 +13,8 @@ const TENANT_B_BASE: u64 = 0x800; // rows 32.., same subarray, well apart
 fn two_tenant_run(defended: bool) -> ScenarioRun {
     let mut builder = Scenario::builder()
         .label(if defended { "multi-tenant defended" } else { "multi-tenant undefended" })
-        .victim(VictimSpec::model(models::victim_tiny(41), TENANT_A_BASE))
-        .victim(VictimSpec::model(models::victim_tiny(43), TENANT_B_BASE))
+        .victim(VictimSpec::model(ModelKind::Tiny, 41, TENANT_A_BASE))
+        .victim(VictimSpec::model(ModelKind::Tiny, 43, TENANT_B_BASE))
         .attack(BfaHammerAttack { batch: 32 })
         .budget(Budget { max_activations: 20_000, check_interval: 8, iterations: 1 })
         .target_victim(0);

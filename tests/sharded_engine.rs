@@ -22,8 +22,8 @@ use rand::{RngExt, SeedableRng};
 use dram_locker::dram::{DramDevice, RowAddr};
 use dram_locker::memctrl::{DefenseHook, HookAction, MemRequest, Trace, TraceOp};
 use dram_locker::sim::{
-    find, EngineConfig, LockerMitigation, Mitigation, MountCtx, ReplayWorkload, RunReport,
-    Scenario, ScenarioBuilder, SimError, VictimSpec, Workload,
+    find, AttackSpec, EngineConfig, LockerMitigation, Mitigation, MountCtx, RunReport, Scenario,
+    ScenarioBuilder, SimError, VictimSpec, Workload,
 };
 
 const ROW_BYTES: u64 = 64; // tiny geometry
@@ -36,7 +36,7 @@ fn multitenant_4ch() -> ScenarioBuilder {
         .label("determinism")
         .victim_on(VictimSpec::row(20, 0xA5), 0)
         .victim_on(VictimSpec::row(20, 0x5A), 1)
-        .attack(ReplayWorkload::tenants(&[
+        .attack(AttackSpec::tenants(vec![
             Workload::Sequential { base: 0, len: 8, count: 400 },
             Workload::Strided { base: 0, stride: 4 * ROW_BYTES, len: 4, count: 200 },
             Workload::PointerChase { base: 0, span: 512 * ROW_BYTES, len: 8, count: 400, seed: 3 },
@@ -122,8 +122,11 @@ impl Mitigation for ThreadSpy {
 
 fn spy_threads(engine: EngineConfig) -> HashSet<ThreadId> {
     let seen = Arc::new(Mutex::new(HashSet::new()));
-    let mut run =
-        multitenant_4ch().engine(engine).defense(ThreadSpy { seen: seen.clone() }).build().unwrap();
+    let mut run = multitenant_4ch()
+        .engine(engine)
+        .custom_defense(ThreadSpy { seen: seen.clone() })
+        .build()
+        .unwrap();
     run.run().unwrap();
     let set = seen.lock().unwrap().clone();
     set
@@ -186,7 +189,7 @@ proptest! {
             Scenario::builder()
                 .engine(engine)
                 .victim(VictimSpec::row(20, 0xA5))
-                .attack(ReplayWorkload::workload(&Workload::PointerChase {
+                .attack(AttackSpec::replay(Workload::PointerChase {
                     base: 0,
                     span: 512 * ROW_BYTES,
                     len: 8,

@@ -1,0 +1,85 @@
+//! The sweep layer's workspace-level guarantees:
+//!
+//! 1. `SweepRunner` across worker threads produces `RunReport`s
+//!    bit-identical to running every spec serially, in the same order —
+//!    for the acceptance grid {1,2,4 channels} × {none, dram-locker}
+//!    and for a mixed bag of catalog entries;
+//! 2. the grid feeds `metrics::Table` and emits both CSV and markdown
+//!    with one row per expanded spec;
+//! 3. errors keep their slot instead of poisoning the sweep.
+
+use dram_locker::sim::sweep::{SweepGrid, SweepRunner};
+use dram_locker::sim::{metrics, DefenseSpec, ScenarioSpec};
+use dram_locker::xlayer::experiments::defense_grid;
+
+fn acceptance_grid() -> Vec<ScenarioSpec> {
+    let base = dram_locker::sim::find("hammer-vs-none").unwrap().spec;
+    SweepGrid::over(base)
+        .channels([1, 2, 4])
+        .defenses([vec![], vec![DefenseSpec::locker_adjacent()]])
+        .expand()
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let specs = acceptance_grid();
+    assert_eq!(specs.len(), 6);
+    let parallel = SweepRunner::with_threads(4).run_reports(&specs).unwrap();
+    let serial = SweepRunner::serial().run_reports(&specs).unwrap();
+    assert_eq!(parallel, serial, "same RunReports in the same order");
+    // Order is spec order: labels line up one-to-one.
+    for (spec, report) in specs.iter().zip(&parallel) {
+        assert_eq!(report.scenario, spec.label);
+        assert_eq!(report.channels, spec.engine.channels);
+    }
+}
+
+#[test]
+fn mixed_catalog_sweep_is_deterministic_across_threads() {
+    let specs: Vec<ScenarioSpec> = [
+        "hammer-vs-none",
+        "hammer-vs-graphene",
+        "replay-hammer-vs-dram-locker",
+        "replay-stream-2ch",
+        "replay-multitenant-4ch",
+    ]
+    .into_iter()
+    .map(|name| dram_locker::sim::find(name).unwrap().spec)
+    .collect();
+    let parallel = SweepRunner::parallel().run_reports(&specs).unwrap();
+    let serial = SweepRunner::serial().run_reports(&specs).unwrap();
+    assert_eq!(parallel, serial);
+}
+
+#[test]
+fn grid_emits_csv_and_markdown_tables() {
+    let reports = SweepRunner::parallel().run_reports(&acceptance_grid()).unwrap();
+    let table = metrics::Table::from_reports(&reports);
+    let csv = table.to_csv();
+    assert_eq!(csv.lines().count(), 1 + 6, "{csv}");
+    assert!(csv.lines().next().unwrap().starts_with("scenario,attack,channels"));
+    assert!(csv.contains("hammer-vs-none/dram-locker/4ch"));
+    assert!(csv.lines().next().unwrap().contains("mit:dram-locker"));
+    let md = table.to_markdown();
+    assert_eq!(md.lines().count(), 2 + 6);
+    assert!(md.lines().all(|l| l.starts_with('|')));
+}
+
+#[test]
+fn xlayer_defense_grid_rides_the_same_rails() {
+    assert_eq!(defense_grid::specs().unwrap(), acceptance_grid());
+    let table = defense_grid::run().unwrap();
+    assert_eq!(table.rows().len(), 6);
+}
+
+#[test]
+fn failing_specs_keep_their_slot() {
+    let mut specs = acceptance_grid();
+    specs.insert(2, ScenarioSpec::new("deliberately-empty"));
+    let results = SweepRunner::with_threads(3).run(&specs);
+    assert_eq!(results.len(), 7);
+    assert!(results[2].report.is_err());
+    assert!(results.iter().enumerate().all(|(i, r)| i == 2 || r.report.is_ok()));
+    // And the strict variant surfaces that error.
+    assert!(SweepRunner::with_threads(3).run_reports(&specs).is_err());
+}
