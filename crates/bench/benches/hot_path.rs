@@ -1,0 +1,182 @@
+//! The hot-path performance contract: decoded-instructions/sec,
+//! lock-table probes/sec, serviced-requests/sec and GEMM MFLOP/s,
+//! each measured against its pre-refactor reference implementation.
+//!
+//! Unlike the figure benches this one is a throughput pin, not a paper
+//! artifact: it prints a table of new-vs-reference ratios and writes
+//! the machine-readable snapshot `BENCH_hot_path.json` at the
+//! workspace root (see `dlk_bench::snapshot` for the schema). Pass
+//! `--fast` (CI) to shorten the measurement windows.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use criterion::black_box;
+
+use dlk_bench::snapshot::Snapshot;
+use dlk_dnn::Tensor;
+use dlk_dram::RowId;
+use dlk_locker::locktable::reference::ScanLockTable;
+use dlk_locker::{CompiledProgram, Instruction, LockTable};
+use dlk_memctrl::{MemCtrlConfig, MemRequest, MemoryController};
+
+/// Measured iterations/sec of `f` over a fixed wall-clock window.
+fn throughput(window: Duration, mut f: impl FnMut()) -> f64 {
+    f(); // warm caches and lazy state once, untimed
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        f();
+        iters += 1;
+        let elapsed = start.elapsed();
+        if elapsed >= window {
+            return iters as f64 / elapsed.as_secs_f64();
+        }
+    }
+}
+
+/// A canonical word stream: the SWAP-loop shape (copy bursts, a
+/// counted branch, `done`) tiled to `len` instructions.
+fn word_stream(len: usize) -> Vec<u16> {
+    let mut words = Vec::with_capacity(len);
+    for i in 0..len.saturating_sub(1) {
+        let word = match i % 4 {
+            0 => Instruction::Copy { dst: (i % 128) as u8, src: ((i + 1) % 128) as u8 },
+            1 => Instruction::Copy { dst: ((i + 2) % 128) as u8, src: (i % 128) as u8 },
+            2 => Instruction::Bnez { reg: (i % 128) as u8, target: 0 },
+            _ => Instruction::Copy { dst: 3, src: 4 },
+        };
+        words.push(word.encode());
+    }
+    words.push(Instruction::Done.encode());
+    words
+}
+
+fn bench_decode(window: Duration, snap: &mut Snapshot) -> (f64, f64) {
+    let words = word_stream(4096);
+    let n = words.len() as f64;
+    let new_per_s = throughput(window, || {
+        black_box(CompiledProgram::from_words(black_box(&words)).expect("canonical stream"));
+    }) * n;
+    let ref_per_s = throughput(window, || {
+        let decoded: Result<Vec<Instruction>, _> =
+            black_box(&words).iter().map(|&w| Instruction::decode_reference(w)).collect();
+        black_box(decoded.expect("canonical stream"));
+    }) * n;
+    snap.metric("decode_minstr_per_s", new_per_s / 1e6, "M/s");
+    snap.metric("decode_reference_minstr_per_s", ref_per_s / 1e6, "M/s");
+    snap.speedup("decode_vs_reference", new_per_s / ref_per_s);
+    (new_per_s, ref_per_s)
+}
+
+fn bench_probe(window: Duration, snap: &mut Snapshot) -> (f64, f64) {
+    const CAPACITY: usize = 1024;
+    const PROBES: u64 = 4096;
+    let mut table = LockTable::new(CAPACITY);
+    let mut scan = ScanLockTable::new(CAPACITY);
+    for row in 0..CAPACITY as u64 / 2 {
+        table.lock(RowId(row * 3)).expect("capacity");
+        scan.lock(RowId(row * 3)).expect("capacity");
+    }
+    // Same ~50/50 hit/miss probe tape for both tables.
+    let new_per_s = throughput(window, || {
+        let mut hits = 0u64;
+        for probe in 0..PROBES {
+            hits += u64::from(table.is_locked(RowId((probe * 3) % 4096)));
+        }
+        black_box(hits);
+    }) * PROBES as f64;
+    let ref_per_s = throughput(window, || {
+        let mut hits = 0u64;
+        for probe in 0..PROBES {
+            hits += u64::from(scan.is_locked(RowId((probe * 3) % 4096)));
+        }
+        black_box(hits);
+    }) * PROBES as f64;
+    snap.metric("probe_mprobe_per_s", new_per_s / 1e6, "M/s");
+    snap.metric("probe_scan_reference_mprobe_per_s", ref_per_s / 1e6, "M/s");
+    snap.speedup("probe_vs_scan_reference", new_per_s / ref_per_s);
+    (new_per_s, ref_per_s)
+}
+
+fn bench_service(window: Duration, snap: &mut Snapshot) -> (f64, f64) {
+    let mut ctrl = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+    let row_bytes = 64u64; // DramGeometry::tiny()
+    let batch: Vec<MemRequest> = (0..256)
+        .map(|i| {
+            let addr = (i as u64 % 128) * row_bytes;
+            if i % 4 == 3 {
+                MemRequest::write(addr, vec![i as u8; 8])
+            } else {
+                MemRequest::read(addr, 8)
+            }
+        })
+        .collect();
+    let n = batch.len() as f64;
+    let batch_per_s = throughput(window, || {
+        black_box(ctrl.service_batch(black_box(&batch)).expect("valid batch"));
+    }) * n;
+    let mut ctrl2 = MemoryController::new(MemCtrlConfig::tiny_for_tests());
+    let single_per_s = throughput(window, || {
+        let done: Vec<_> =
+            batch.iter().map(|request| ctrl2.service(request.clone()).expect("valid")).collect();
+        black_box(done);
+    }) * n;
+    snap.metric("service_batch_kreq_per_s", batch_per_s / 1e3, "k/s");
+    snap.metric("service_per_request_kreq_per_s", single_per_s / 1e3, "k/s");
+    snap.speedup("service_batch_vs_per_request", batch_per_s / single_per_s);
+    (batch_per_s, single_per_s)
+}
+
+fn bench_gemm(window: Duration, snap: &mut Snapshot) -> (f64, f64) {
+    // The im2col shape of the CNN victim: activations (rows of
+    // patches) times a transposed weight matrix.
+    let (m, k, n) = (64, 128, 32);
+    let a = Tensor::randn(m, k, 11);
+    let b = Tensor::randn(n, k, 12);
+    let flop = (2 * m * k * n) as f64;
+    let new_flop_per_s = throughput(window, || {
+        black_box(black_box(&a).matmul_transpose(black_box(&b)).expect("shapes"));
+    }) * flop;
+    let ref_flop_per_s = throughput(window, || {
+        black_box(black_box(&a).matmul_transpose_reference(black_box(&b)).expect("shapes"));
+    }) * flop;
+    snap.metric("gemm_mflop_per_s", new_flop_per_s / 1e6, "MFLOP/s");
+    snap.metric("gemm_reference_mflop_per_s", ref_flop_per_s / 1e6, "MFLOP/s");
+    snap.speedup("gemm_vs_reference", new_flop_per_s / ref_flop_per_s);
+    (new_flop_per_s, ref_flop_per_s)
+}
+
+fn main() {
+    let fast = std::env::args().any(|arg| arg == "--fast");
+    let window = if fast { Duration::from_millis(40) } else { Duration::from_millis(400) };
+    let mut snap = Snapshot::new("hot_path");
+
+    let (decode_new, decode_ref) = bench_decode(window, &mut snap);
+    let (probe_new, probe_ref) = bench_probe(window, &mut snap);
+    let (service_batch, service_single) = bench_service(window, &mut snap);
+    let (gemm_new, gemm_ref) = bench_gemm(window, &mut snap);
+
+    println!("hot_path ({} mode)", if fast { "fast" } else { "full" });
+    println!("{:-<66}", "");
+    println!("{:<28} {:>12} {:>12} {:>8}", "loop", "new", "reference", "ratio");
+    let row = |name: &str, new: f64, reference: f64, unit: &str| {
+        println!(
+            "{name:<28} {:>12.1} {:>12.1} {:>7.2}x  ({unit})",
+            new,
+            reference,
+            new / reference
+        );
+    };
+    row("decode (M instr/s)", decode_new / 1e6, decode_ref / 1e6, "CompiledProgram vs match");
+    row("probe (M probes/s)", probe_new / 1e6, probe_ref / 1e6, "open-addressed vs scan");
+    row("service (k req/s)", service_batch / 1e3, service_single / 1e3, "batch vs per-request");
+    row("gemm (MFLOP/s)", gemm_new / 1e6, gemm_ref / 1e6, "blocked vs scalar dot");
+
+    // Anchor the snapshot at the workspace root regardless of the CWD
+    // cargo chose for the bench binary.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = root.canonicalize().unwrap_or(root).join("BENCH_hot_path.json");
+    snap.write(&out).expect("snapshot write");
+    println!("snapshot -> {}", out.display());
+}

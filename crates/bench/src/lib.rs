@@ -10,6 +10,8 @@
 
 use std::sync::Once;
 
+pub mod snapshot;
+
 /// Prints a block of experiment output exactly once per process, so
 /// Criterion's iteration loop doesn't repeat multi-line artifacts.
 pub fn print_once(once: &'static Once, artifact: impl FnOnce() -> String) {

@@ -134,12 +134,88 @@ impl Tensor {
         &self.data[row * self.cols..(row + 1) * self.cols]
     }
 
-    /// Matrix product `self (m,k) × other (k,n) -> (m,n)`.
+    /// The explicit transpose `(cols, rows)` — the bridge that lets
+    /// every matrix-product variant run through the one blocked GEMM
+    /// kernel.
+    pub fn transposed(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (j, &value) in row.iter().enumerate() {
+                out.data[j * self.rows + i] = value;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self (m,k) × other (k,n) -> (m,n)` via the
+    /// blocked kernel ([`gemm_acc`]).
     ///
     /// # Errors
     ///
     /// Returns [`DnnError::ShapeMismatch`] if inner dimensions differ.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor, DnnError> {
+        if self.cols != other.rows {
+            return Err(DnnError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        gemm_acc(&mut out.data, &self.data, &other.data, self.rows, self.cols, other.cols);
+        Ok(out)
+    }
+
+    /// `self (m,k) × otherᵀ (n,k) -> (m,n)` — the forward-pass product
+    /// behind every dense layer and the im2col convolution. Runs the
+    /// same blocked kernel as [`Tensor::matmul`] over the materialized
+    /// transpose: the row-blocked, unrolled accumulation vectorizes,
+    /// where the old per-output scalar dot product was bound by the
+    /// floating-point add latency chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] if inner dimensions differ.
+    pub fn matmul_transpose(&self, other: &Tensor) -> Result<Tensor, DnnError> {
+        if self.cols != other.cols {
+            return Err(DnnError::ShapeMismatch {
+                op: "matmul_transpose",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let bt = other.transposed();
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        gemm_acc(&mut out.data, &self.data, &bt.data, self.rows, self.cols, other.rows);
+        Ok(out)
+    }
+
+    /// `selfᵀ (k,m) × other (k,n) -> (m,n)` (used for weight
+    /// gradients: `dW = dYᵀ X`), through the same blocked kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] if row counts differ.
+    pub fn transpose_matmul(&self, other: &Tensor) -> Result<Tensor, DnnError> {
+        if self.rows != other.rows {
+            return Err(DnnError::ShapeMismatch {
+                op: "transpose_matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let at = self.transposed();
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        gemm_acc(&mut out.data, &at.data, &other.data, self.cols, self.rows, other.cols);
+        Ok(out)
+    }
+
+    /// Pre-refactor scalar `matmul`, kept as the oracle for the
+    /// blocked kernel (exact-equivalence tests; `benches/hot_path.rs`
+    /// reports the MFLOP/s ratio).
+    #[doc(hidden)]
+    pub fn matmul_reference(&self, other: &Tensor) -> Result<Tensor, DnnError> {
         if self.cols != other.rows {
             return Err(DnnError::ShapeMismatch {
                 op: "matmul",
@@ -163,13 +239,10 @@ impl Tensor {
         Ok(out)
     }
 
-    /// `self (m,k) × otherᵀ (n,k) -> (m,n)` without materializing the
-    /// transpose.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`DnnError::ShapeMismatch`] if inner dimensions differ.
-    pub fn matmul_transpose(&self, other: &Tensor) -> Result<Tensor, DnnError> {
+    /// Pre-refactor scalar `matmul_transpose`, kept as the oracle for
+    /// the blocked kernel.
+    #[doc(hidden)]
+    pub fn matmul_transpose_reference(&self, other: &Tensor) -> Result<Tensor, DnnError> {
         if self.cols != other.cols {
             return Err(DnnError::ShapeMismatch {
                 op: "matmul_transpose",
@@ -190,13 +263,10 @@ impl Tensor {
         Ok(out)
     }
 
-    /// `selfᵀ (k,m) × other (k,n) -> (m,n)` without materializing the
-    /// transpose (used for weight gradients: `dW = dYᵀ X`).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`DnnError::ShapeMismatch`] if row counts differ.
-    pub fn transpose_matmul(&self, other: &Tensor) -> Result<Tensor, DnnError> {
+    /// Pre-refactor scalar `transpose_matmul`, kept as the oracle for
+    /// the blocked kernel.
+    #[doc(hidden)]
+    pub fn transpose_matmul_reference(&self, other: &Tensor) -> Result<Tensor, DnnError> {
         if self.rows != other.rows {
             return Err(DnnError::ShapeMismatch {
                 op: "transpose_matmul",
@@ -255,6 +325,53 @@ impl Tensor {
         for value in &mut self.data {
             if *value < 0.0 {
                 *value = 0.0;
+            }
+        }
+    }
+}
+
+/// `k`-block width of the shared GEMM kernel: a 256-element slice of a
+/// `b` row is 1 KiB, so one block of `b` rows stays resident in L1/L2
+/// while the `i` loop streams over it.
+const GEMM_KC: usize = 256;
+
+/// `j`-unroll width: eight independent output accumulators per step,
+/// wide enough for LLVM to keep the inner loop in vector registers.
+const GEMM_JU: usize = 8;
+
+/// The one blocked GEMM kernel behind [`Tensor::matmul`],
+/// [`Tensor::matmul_transpose`] and [`Tensor::transpose_matmul`]:
+/// `out (m,n) += a (m,k) × b (k,n)`, all row-major.
+///
+/// Bit-exact with the pre-refactor scalar loops: each output element
+/// accumulates its products in ascending-`k` order (the `k` blocks are
+/// visited in order, and within a block `k` ascends), and the
+/// zero-skip only elides `±0.0` contributions, which cannot change an
+/// accumulator that starts at `+0.0` for finite inputs.
+fn gemm_acc(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    for k0 in (0..k).step_by(GEMM_KC) {
+        let kb = GEMM_KC.min(k - k0);
+        for i in 0..m {
+            let a_row = &a[i * k + k0..i * k + k0 + kb];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (dk, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[(k0 + dk) * n..(k0 + dk + 1) * n];
+                let mut out_chunks = out_row.chunks_exact_mut(GEMM_JU);
+                let mut b_chunks = b_row.chunks_exact(GEMM_JU);
+                for (oc, bc) in out_chunks.by_ref().zip(b_chunks.by_ref()) {
+                    for u in 0..GEMM_JU {
+                        oc[u] += av * bc[u];
+                    }
+                }
+                for (o, &bv) in out_chunks.into_remainder().iter_mut().zip(b_chunks.remainder()) {
+                    *o += av * bv;
+                }
             }
         }
     }
@@ -353,5 +470,85 @@ mod tests {
     #[should_panic(expected = "data length")]
     fn from_vec_validates_length() {
         let _ = Tensor::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn transposed_known_values() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = a.transposed();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(t.transposed(), a);
+    }
+
+    /// Shapes chosen to hit every kernel corner: empty, 1×1, sizes
+    /// below/at/above the `GEMM_JU` unroll remainder, and a `k` larger
+    /// than `GEMM_KC` so multiple blocks run.
+    fn equivalence_shapes() -> Vec<(usize, usize, usize)> {
+        vec![(0, 0, 0), (1, 1, 1), (2, 3, 5), (3, 7, 8), (5, 9, 11), (4, 300, 17), (8, 513, 9)]
+    }
+
+    #[test]
+    fn blocked_matmul_bit_exact_vs_reference() {
+        for (seed, (m, k, n)) in equivalence_shapes().into_iter().enumerate() {
+            let a = Tensor::randn(m, k, seed as u64);
+            let b = Tensor::randn(k, n, seed as u64 + 100);
+            let new = a.matmul(&b).unwrap();
+            let old = a.matmul_reference(&b).unwrap();
+            assert_eq!(new.as_slice(), old.as_slice(), "matmul {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_transpose_bit_exact_vs_reference() {
+        for (seed, (m, k, n)) in equivalence_shapes().into_iter().enumerate() {
+            let a = Tensor::randn(m, k, seed as u64 + 200);
+            let b = Tensor::randn(n, k, seed as u64 + 300);
+            let new = a.matmul_transpose(&b).unwrap();
+            let old = a.matmul_transpose_reference(&b).unwrap();
+            assert_eq!(new.as_slice(), old.as_slice(), "matmul_transpose {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_transpose_matmul_bit_exact_vs_reference() {
+        for (seed, (m, k, n)) in equivalence_shapes().into_iter().enumerate() {
+            let a = Tensor::randn(k, m, seed as u64 + 400);
+            let b = Tensor::randn(k, n, seed as u64 + 500);
+            let new = a.transpose_matmul(&b).unwrap();
+            let old = a.transpose_matmul_reference(&b).unwrap();
+            assert_eq!(new.as_slice(), old.as_slice(), "transpose_matmul {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_bit_exact_with_zero_rich_inputs() {
+        // Sparse inputs exercise the zero-skip path; exact zeros must
+        // not perturb the accumulation order of the nonzero terms.
+        let mut a = Tensor::randn(6, 40, 77);
+        for i in 0..6 {
+            for j in 0..40 {
+                if (i + j) % 3 != 0 {
+                    a.set(i, j, 0.0);
+                }
+            }
+        }
+        let b = Tensor::randn(40, 5, 78);
+        assert_eq!(a.matmul(&b).unwrap(), a.matmul_reference(&b).unwrap());
+        let bt = Tensor::randn(5, 40, 79);
+        assert_eq!(a.matmul_transpose(&bt).unwrap(), a.matmul_transpose_reference(&bt).unwrap());
+        let a2 = a.transposed();
+        assert_eq!(a2.transpose_matmul(&b).unwrap(), a2.transpose_matmul_reference(&b).unwrap());
+    }
+
+    #[test]
+    fn reference_paths_reject_same_shape_mismatches() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        assert!(a.matmul_reference(&b).is_err());
+        assert!(a.matmul_transpose(&Tensor::zeros(2, 4)).is_err());
+        assert!(a.matmul_transpose_reference(&Tensor::zeros(2, 4)).is_err());
+        assert!(a.transpose_matmul(&Tensor::zeros(3, 3)).is_err());
+        assert!(a.transpose_matmul_reference(&Tensor::zeros(3, 3)).is_err());
     }
 }

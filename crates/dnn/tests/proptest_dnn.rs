@@ -44,6 +44,31 @@ proptest! {
         prop_assert_eq!(out, a);
     }
 
+    /// The blocked GEMM kernel is bit-exact with the pre-refactor
+    /// scalar loops on arbitrary finite inputs, across all three
+    /// product variants.
+    #[test]
+    fn blocked_gemm_bit_exact_any(
+        m in 1usize..6,
+        k in 1usize..12,
+        n in 1usize..7,
+        seed in 0u64..1024,
+    ) {
+        let a = Tensor::randn(m, k, seed);
+        let b = Tensor::randn(k, n, seed + 1);
+        prop_assert_eq!(a.matmul(&b).unwrap(), a.matmul_reference(&b).unwrap());
+        let bt = Tensor::randn(n, k, seed + 2);
+        prop_assert_eq!(
+            a.matmul_transpose(&bt).unwrap(),
+            a.matmul_transpose_reference(&bt).unwrap()
+        );
+        let a2 = Tensor::randn(k, m, seed + 3);
+        prop_assert_eq!(
+            a2.transpose_matmul(&b).unwrap(),
+            a2.transpose_matmul_reference(&b).unwrap()
+        );
+    }
+
     /// Quantize→dequantize→quantize is a fixed point (idempotent after
     /// one round).
     #[test]

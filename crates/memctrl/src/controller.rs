@@ -48,6 +48,27 @@ impl MemCtrlConfig {
     }
 }
 
+/// One row of the per-kind action table: how a request kind touches
+/// the device and which statistics it bumps. Indexed by
+/// [`RequestKind::index`], this replaces the per-request match
+/// dispatch that used to sit in the servicing hot loop.
+struct KindAction {
+    /// `true` if the DRAM access is a read returning data.
+    is_read: bool,
+    /// Increment applied to [`ControllerStats::reads`].
+    reads: u64,
+    /// Increment applied to [`ControllerStats::writes`].
+    writes: u64,
+}
+
+/// The flat action table consulted by [`MemoryController::service_mapped`]
+/// — the one servicing tail shared by `service`, `service_batch` and
+/// the queued `step` loop.
+const KIND_ACTIONS: [KindAction; RequestKind::COUNT] = [
+    KindAction { is_read: true, reads: 1, writes: 0 },
+    KindAction { is_read: false, reads: 0, writes: 1 },
+];
+
 /// A served (or skipped) request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompletedRequest {
@@ -265,6 +286,34 @@ impl MemoryController {
         self.service(request).map(Some)
     }
 
+    /// The shared validation head of every servicing path: the OS
+    /// page-protection fault comes first (before any address
+    /// validation — an untrusted request into a protected range is
+    /// denied, never an error), then address mapping and the
+    /// row-boundary check. `Ok(None)` means the request OS-faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unmappable addresses or row-spanning
+    /// requests.
+    fn prepare(&self, request: &MemRequest) -> Result<Option<(RowAddr, usize)>, MemCtrlError> {
+        if self.os_faults(request) {
+            return Ok(None);
+        }
+        let (row, col) = self.mapper.to_dram(request.addr)?;
+        if col + request.len > self.geometry().row_bytes {
+            return Err(MemCtrlError::SpansRowBoundary { addr: request.addr, len: request.len });
+        }
+        Ok(Some((row, col)))
+    }
+
+    /// Completes an OS-faulting request: denied, zero latency, no
+    /// device access.
+    fn complete_os_fault(&mut self, request: MemRequest) -> CompletedRequest {
+        self.stats.os_faults += 1;
+        CompletedRequest { request, denied: true, latency: 0, data: None }
+    }
+
     /// Serves one request immediately, bypassing the queue.
     ///
     /// # Errors
@@ -272,15 +321,10 @@ impl MemoryController {
     /// Returns an error for unmappable addresses or row-spanning
     /// requests.
     pub fn service(&mut self, request: MemRequest) -> Result<CompletedRequest, MemCtrlError> {
-        if self.os_faults(&request) {
-            self.stats.os_faults += 1;
-            return Ok(CompletedRequest { request, denied: true, latency: 0, data: None });
+        match self.prepare(&request)? {
+            None => Ok(self.complete_os_fault(request)),
+            Some((row, col)) => self.service_mapped(request, row, col),
         }
-        let (row, col) = self.mapper.to_dram(request.addr)?;
-        if col + request.len > self.geometry().row_bytes {
-            return Err(MemCtrlError::SpansRowBoundary { addr: request.addr, len: request.len });
-        }
-        self.service_mapped(request, row, col)
     }
 
     /// Serves a slice of requests in one pass, bypassing the queue —
@@ -288,7 +332,8 @@ impl MemoryController {
     /// weight fetch). Behaviourally identical to calling
     /// [`MemoryController::service`] per request — same completions,
     /// same statistics, same device state — but every address is
-    /// mapped and validated up front, so a malformed request is
+    /// validated up front (by the same [`MemoryController::prepare`]
+    /// head the per-request path uses), so a malformed request is
     /// rejected *before* any request of the batch touches the device,
     /// and the per-request dispatch overhead is paid once.
     ///
@@ -300,45 +345,24 @@ impl MemoryController {
         &mut self,
         requests: &[MemRequest],
     ) -> Result<Vec<CompletedRequest>, MemCtrlError> {
-        let row_bytes = self.geometry().row_bytes;
-        // OS-faulting requests never reach the device, so (exactly as
-        // in `service`) their addresses are not validated — only the
-        // requests that will actually be serviced are mapped up front.
-        let mut mapped = Vec::with_capacity(requests.len());
+        let mut prepared = Vec::with_capacity(requests.len());
         for request in requests {
-            if self.os_faults(request) {
-                mapped.push(None);
-                continue;
-            }
-            let (row, col) = self.mapper.to_dram(request.addr)?;
-            if col + request.len > row_bytes {
-                return Err(MemCtrlError::SpansRowBoundary {
-                    addr: request.addr,
-                    len: request.len,
-                });
-            }
-            mapped.push(Some((row, col)));
+            prepared.push(self.prepare(request)?);
         }
         let mut done = Vec::with_capacity(requests.len());
-        for (request, mapped) in requests.iter().zip(mapped) {
-            let Some((row, col)) = mapped else {
-                self.stats.os_faults += 1;
-                done.push(CompletedRequest {
-                    request: request.clone(),
-                    denied: true,
-                    latency: 0,
-                    data: None,
-                });
-                continue;
-            };
-            done.push(self.service_mapped(request.clone(), row, col)?);
+        for (request, prepared) in requests.iter().zip(prepared) {
+            done.push(match prepared {
+                None => self.complete_os_fault(request.clone()),
+                Some((row, col)) => self.service_mapped(request.clone(), row, col)?,
+            });
         }
         Ok(done)
     }
 
-    /// The shared tail of [`MemoryController::service`] and
-    /// [`MemoryController::service_batch`]: hook consultation and the
-    /// DRAM access for an already-mapped request.
+    /// The one servicing tail behind [`MemoryController::service`],
+    /// [`MemoryController::service_batch`] and the queued step loop:
+    /// hook consultation, the per-kind action-table dispatch and the
+    /// DRAM access for an already-validated request.
     fn service_mapped(
         &mut self,
         request: MemRequest,
@@ -361,22 +385,20 @@ impl MemoryController {
             }
         };
         let will_activate = self.dram.open_row_of(row.bank) != Some(row);
-        let data = match request.kind {
-            RequestKind::Read => {
-                let (data, cycles) = self.dram.access_read(row, col, request.len)?;
-                latency += cycles;
-                self.stats.reads += 1;
-                Some(data)
-            }
-            RequestKind::Write => {
-                latency += self.dram.access_write(row, col, &request.payload)?;
-                self.stats.writes += 1;
-                None
-            }
+        let kind = &KIND_ACTIONS[request.kind.index()];
+        let data = if kind.is_read {
+            let (data, cycles) = self.dram.access_read(row, col, request.len)?;
+            latency += cycles;
+            Some(data)
+        } else {
+            latency += self.dram.access_write(row, col, &request.payload)?;
+            None
         };
         if will_activate {
             self.hook.on_activate(row, &mut self.dram);
         }
+        self.stats.reads += kind.reads;
+        self.stats.writes += kind.writes;
         self.stats.served += 1;
         self.stats.total_latency += latency;
         Ok(CompletedRequest { request, denied: false, latency, data })

@@ -15,6 +15,20 @@ pub enum RequestKind {
     Write,
 }
 
+impl RequestKind {
+    /// Number of request kinds — the length of per-kind action tables.
+    pub const COUNT: usize = 2;
+
+    /// Dense index into per-kind action tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            RequestKind::Read => 0,
+            RequestKind::Write => 1,
+        }
+    }
+}
+
 /// A memory request addressed by physical byte address.
 ///
 /// # Example
