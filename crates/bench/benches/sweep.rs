@@ -1,49 +1,101 @@
-//! Wall-clock scaling of the spec-driven sweep runner.
+//! Wall-clock scaling of the spec-driven sweep runner, as a pinned
+//! throughput contract.
 //!
 //! The channel × defense acceptance grid runs twice — every spec
-//! serially on one thread, then across worker threads — and the
-//! artifact records both the grid's metrics table (markdown) and the
-//! serial/parallel agreement. Only the runner is being measured: the
-//! scenarios are identical specs resolved from the same catalog data.
+//! serially on one thread, then across the work-stealing queue — and
+//! must agree bit-for-bit. The artifact records the grid's metrics
+//! table (markdown) plus a machine-readable `BENCH_sweep.json`
+//! snapshot at the workspace root (see `dlk_bench::snapshot` for the
+//! schema): serial vs parallel specs/s and the bare queue's jobs/s on
+//! no-op jobs, which prices the scheduling machinery itself —
+//! injector, deques, stealing, slot bookkeeping — with no scenario
+//! work to hide behind. Pass `--fast` (CI) to shorten the windows.
 
-use std::sync::Once;
+use std::path::Path;
+use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-use dlk_bench::print_once;
+use dlk_bench::snapshot::Snapshot;
 use dlk_sim::metrics;
 use dlk_sim::sweep::SweepRunner;
+use dlk_sim::{RunReport, ScenarioSpec, SimError};
 use dlk_xlayer::experiments::defense_grid;
 
-static ARTIFACT: Once = Once::new();
-
-fn bench_sweep(c: &mut Criterion) {
-    print_once(&ARTIFACT, || {
-        let specs = defense_grid::specs().expect("grid expands");
-        let serial = SweepRunner::serial().run_reports(&specs).expect("serial sweep runs");
-        let parallel = SweepRunner::parallel().run_reports(&specs).expect("parallel sweep runs");
-        assert_eq!(serial, parallel, "sweep determinism");
-        let mut out = String::from("== Spec sweep: {1,2,4 channels} x {none, dram-locker} ==\n");
-        out.push_str(&format!(
-            "{} specs, parallel runner on {} threads, reports bit-identical to serial\n\n",
-            specs.len(),
-            SweepRunner::parallel().threads()
-        ));
-        out.push_str(&metrics::Table::from_reports(&serial).to_markdown());
-        out
-    });
-
-    let specs = defense_grid::specs().expect("grid expands");
-    let mut group = c.benchmark_group("sweep");
-    group.sample_size(10);
-    group.bench_function("serial_1thread", |b| {
-        b.iter(|| SweepRunner::serial().run_reports(&specs).expect("sweep runs"))
-    });
-    group.bench_function("parallel_4threads", |b| {
-        b.iter(|| SweepRunner::with_threads(4).run_reports(&specs).expect("sweep runs"))
-    });
-    group.finish();
+/// Best-of-`reps` wall-clock for `f`, as runs/sec scaled by `work`.
+fn best_throughput(reps: usize, work: f64, mut f: impl FnMut()) -> f64 {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    work / best.as_secs_f64()
 }
 
-criterion_group!(benches, bench_sweep);
-criterion_main!(benches);
+fn bench_grid(reps: usize, specs: &[ScenarioSpec], snap: &mut Snapshot) -> (f64, f64) {
+    let n = specs.len() as f64;
+    let serial_per_s = best_throughput(reps, n, || {
+        SweepRunner::serial().run_reports(specs).expect("serial sweep runs");
+    });
+    let parallel_per_s = best_throughput(reps, n, || {
+        SweepRunner::parallel().run_reports(specs).expect("parallel sweep runs");
+    });
+    snap.metric("serial_specs_per_s", serial_per_s, "specs/s");
+    snap.metric("parallel_specs_per_s", parallel_per_s, "specs/s");
+    snap.speedup("parallel_vs_serial", parallel_per_s / serial_per_s);
+    (serial_per_s, parallel_per_s)
+}
+
+fn bench_queue(reps: usize, jobs: usize, snap: &mut Snapshot) -> f64 {
+    // No-op jobs: every microsecond measured here is queue overhead.
+    let runner = SweepRunner::parallel();
+    let jobs_per_s = best_throughput(reps, jobs as f64, || {
+        let outcomes = runner
+            .run_fn(jobs, |index| -> Result<RunReport, SimError> {
+                Err(SimError::Build(format!("noop {index}")))
+            })
+            .len();
+        assert_eq!(outcomes, jobs);
+    });
+    snap.metric("queue_jobs_per_s", jobs_per_s, "jobs/s");
+    jobs_per_s
+}
+
+fn main() {
+    let fast = std::env::args().any(|arg| arg == "--fast");
+    let (reps, queue_jobs) = if fast { (2, 2_000) } else { (5, 20_000) };
+    let mut snap = Snapshot::new("sweep");
+
+    let specs = defense_grid::specs().expect("grid expands");
+    let serial = SweepRunner::serial().run_reports(&specs).expect("serial sweep runs");
+    let parallel = SweepRunner::parallel().run_reports(&specs).expect("parallel sweep runs");
+    assert_eq!(serial, parallel, "sweep determinism");
+
+    println!("== Spec sweep: {{1,2,4 channels}} x {{none, dram-locker}} ==");
+    println!(
+        "{} specs, parallel runner on {} threads, reports bit-identical to serial\n",
+        specs.len(),
+        SweepRunner::parallel().threads()
+    );
+    println!("{}", metrics::Table::from_reports(&serial).to_markdown());
+
+    let (serial_per_s, parallel_per_s) = bench_grid(reps, &specs, &mut snap);
+    let queue_per_s = bench_queue(reps, queue_jobs, &mut snap);
+
+    println!("sweep ({} mode)", if fast { "fast" } else { "full" });
+    println!("{:-<56}", "");
+    println!("{:<28} {:>14.1} specs/s", "serial runner", serial_per_s);
+    println!(
+        "{:<28} {:>14.1} specs/s ({:.2}x)",
+        "work-stealing runner",
+        parallel_per_s,
+        parallel_per_s / serial_per_s
+    );
+    println!("{:<28} {:>14.0} jobs/s  (no-op jobs)", "bare queue", queue_per_s);
+
+    // Anchor the snapshot at the workspace root regardless of the CWD
+    // cargo chose for the bench binary.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = root.canonicalize().unwrap_or(root).join("BENCH_sweep.json");
+    snap.write(&out).expect("snapshot write");
+    println!("snapshot -> {}", out.display());
+}

@@ -1,0 +1,92 @@
+//! Hand-rolled flag parsing (the workspace vendors no arg-parser
+//! crate, and `dlk`'s grammar is four flat subcommands).
+//!
+//! Each command consumes its `--flag value` pairs and `--switch`es out
+//! of the argument vector with [`take_value`] / [`take_switch`], then
+//! calls [`positionals`] to reject anything flag-shaped that survived
+//! — so unknown flags are hard errors, not silently treated as
+//! operands.
+
+use crate::CliError;
+
+/// Removes `--name <value>` from `args`, returning the value.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] when the flag is present without a
+/// value.
+pub fn take_value(args: &mut Vec<String>, name: &str) -> Result<Option<String>, CliError> {
+    match args.iter().position(|arg| arg == name) {
+        None => Ok(None),
+        Some(at) if at + 1 < args.len() => {
+            let value = args.remove(at + 1);
+            args.remove(at);
+            Ok(Some(value))
+        }
+        Some(_) => Err(CliError::Usage(format!("{name} needs a value"))),
+    }
+}
+
+/// Removes the switch `--name` from `args`, returning its presence.
+pub fn take_switch(args: &mut Vec<String>, name: &str) -> bool {
+    match args.iter().position(|arg| arg == name) {
+        Some(at) => {
+            args.remove(at);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Everything left must be positional: the first surviving `--flag` is
+/// an unknown-flag error naming the command's usage line.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`].
+pub fn positionals(args: Vec<String>, usage: &str) -> Result<Vec<String>, CliError> {
+    if let Some(flag) = args.iter().find(|arg| arg.starts_with("--")) {
+        return Err(CliError::Usage(format!("unknown flag '{flag}'\n  {usage}")));
+    }
+    Ok(args)
+}
+
+/// Parses a flag value as an unsigned number.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] naming the flag.
+pub fn parse_count(name: &str, raw: &str) -> Result<u64, CliError> {
+    raw.parse().map_err(|_| CliError::Usage(format!("{name} expects a number, got '{raw}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_are_consumed_in_any_position() {
+        let mut args: Vec<String> = ["a", "--jobs", "4", "b", "--csv"].map(str::to_owned).to_vec();
+        assert_eq!(take_value(&mut args, "--jobs").unwrap().as_deref(), Some("4"));
+        assert!(take_switch(&mut args, "--csv"));
+        assert!(!take_switch(&mut args, "--csv"));
+        assert_eq!(positionals(args, "usage").unwrap(), ["a", "b"]);
+    }
+
+    #[test]
+    fn dangling_and_unknown_flags_are_usage_errors() {
+        let mut args: Vec<String> = ["--jobs"].map(str::to_owned).to_vec();
+        assert!(matches!(take_value(&mut args, "--jobs"), Err(CliError::Usage(_))));
+        let args: Vec<String> = ["x", "--bogus"].map(str::to_owned).to_vec();
+        let err = positionals(args, "the usage line").unwrap_err();
+        assert!(err.to_string().contains("--bogus") && err.to_string().contains("the usage line"));
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn counts_parse_or_name_the_flag() {
+        assert_eq!(parse_count("--jobs", "8").unwrap(), 8);
+        let err = parse_count("--jobs", "lots").unwrap_err();
+        assert!(err.to_string().contains("--jobs"));
+    }
+}

@@ -1,0 +1,78 @@
+//! `dlk catalog [--filter SUBSTR] [--dump NAME [--to FILE]]` — browse
+//! the named scenario catalog and dump entries as runnable `.dlk`
+//! files.
+
+use std::fs;
+
+use dlk_sim::Expected;
+
+use crate::args;
+use crate::CliError;
+
+const USAGE: &str = "dlk catalog [--filter SUBSTR] [--dump NAME [--to FILE]]";
+
+fn expected_token(expected: Expected) -> &'static str {
+    match expected {
+        Expected::Harmed => "harmed",
+        Expected::Contained => "contained",
+        Expected::Any => "any",
+    }
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage errors, unknown `--dump` names (with did-you-mean), a
+/// `--filter` matching nothing (reported through the same suggestion
+/// machinery), and `--to` write failures.
+pub fn run(mut args: Vec<String>) -> Result<(), CliError> {
+    let filter = args::take_value(&mut args, "--filter")?;
+    let dump = args::take_value(&mut args, "--dump")?;
+    let to = args::take_value(&mut args, "--to")?;
+    let rest = args::positionals(args, USAGE)?;
+    if !rest.is_empty() {
+        return Err(CliError::Usage(format!("unexpected operand '{}'\n  {USAGE}", rest[0])));
+    }
+    if to.is_some() && dump.is_none() {
+        return Err(CliError::Usage(format!("--to needs --dump\n  {USAGE}")));
+    }
+
+    if let Some(name) = dump {
+        let entry = dlk_sim::find(&name)?;
+        let text = entry.spec.to_text();
+        match to {
+            Some(path) => {
+                fs::write(&path, &text).map_err(|e| CliError::io(&path, e))?;
+                eprintln!("dlk: wrote {} ({} bytes)", path, text.len());
+            }
+            None => print!("{text}"),
+        }
+        return Ok(());
+    }
+
+    let entries: Vec<_> = dlk_sim::catalog()
+        .into_iter()
+        .filter(|entry| filter.as_deref().is_none_or(|f| entry.name.contains(f)))
+        .collect();
+    if entries.is_empty() {
+        if let Some(f) = filter {
+            // Nothing contains the substring: reuse the catalog's
+            // did-you-mean so `--filter lokcer` still points somewhere.
+            return Err(dlk_sim::find(&f).expect_err("filter matched nothing").into());
+        }
+    }
+    let name_w = entries.iter().map(|e| e.name.len()).max().unwrap_or(0);
+    let expected_w = "contained".len();
+    for entry in &entries {
+        println!(
+            "{:name_w$}  {:expected_w$}  {:24}  {}",
+            entry.name,
+            expected_token(entry.expected),
+            entry.artifact,
+            entry.description,
+        );
+    }
+    eprintln!("dlk: {} scenario(s)", entries.len());
+    Ok(())
+}

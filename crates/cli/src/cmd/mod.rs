@@ -1,0 +1,42 @@
+//! The four `dlk` subcommands. Each module exposes
+//! `run(args: Vec<String>) -> Result<(), CliError>` over the argument
+//! vector that followed the command word.
+
+pub mod catalog;
+pub mod run;
+pub mod serve;
+pub mod sweep;
+
+use std::path::{Path, MAIN_SEPARATOR};
+
+use dlk_sim::ScenarioSpec;
+
+use crate::CliError;
+
+/// Resolves a `run`/`sweep` target to its spec list: anything that
+/// looks like a path (exists, ends in `.dlk`, or contains a separator)
+/// is loaded as a spec file; everything else is a catalog name, so an
+/// unknown one surfaces the catalog's did-you-mean suggestion.
+pub(crate) fn load_specs(target: &str) -> Result<Vec<ScenarioSpec>, CliError> {
+    let looks_like_path =
+        Path::new(target).exists() || target.ends_with(".dlk") || target.contains(MAIN_SEPARATOR);
+    if looks_like_path {
+        let specs = ScenarioSpec::list_from_file(Path::new(target))?;
+        if specs.is_empty() {
+            return Err(CliError::Failed(format!("{target}: no specs in file")));
+        }
+        Ok(specs)
+    } else {
+        Ok(vec![dlk_sim::find(target)?.spec])
+    }
+}
+
+/// Exactly one positional operand, or a usage error citing `usage`.
+pub(crate) fn one_operand(args: Vec<String>, usage: &str) -> Result<String, CliError> {
+    let mut args = crate::args::positionals(args, usage)?;
+    match args.len() {
+        1 => Ok(args.remove(0)),
+        0 => Err(CliError::Usage(format!("missing operand\n  {usage}"))),
+        _ => Err(CliError::Usage(format!("too many operands\n  {usage}"))),
+    }
+}

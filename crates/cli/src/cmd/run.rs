@@ -1,0 +1,36 @@
+//! `dlk run <spec.dlk | catalog-name> [--csv]` — execute one spec file
+//! (every spec in it) or one named catalog entry.
+
+use dlk_sim::{RunReport, Scenario};
+
+use crate::args;
+use crate::CliError;
+
+const USAGE: &str = "dlk run <spec.dlk | catalog-name> [--csv]";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage errors, spec parse errors (with line context), unknown
+/// catalog names (with did-you-mean), and scenario build/run failures.
+pub fn run(mut args: Vec<String>) -> Result<(), CliError> {
+    let csv = args::take_switch(&mut args, "--csv");
+    let target = super::one_operand(args, USAGE)?;
+    let specs = super::load_specs(&target)?;
+    if csv {
+        println!("{}", RunReport::csv_header());
+    }
+    for (at, spec) in specs.iter().enumerate() {
+        let report = Scenario::from_spec(spec)?.run()?;
+        if csv {
+            println!("{}", report.to_csv_row());
+        } else {
+            if at > 0 {
+                println!();
+            }
+            println!("{report}");
+        }
+    }
+    Ok(())
+}

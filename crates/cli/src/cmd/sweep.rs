@@ -1,0 +1,88 @@
+//! `dlk sweep <grid.dlk> [--jobs N] [--out FILE] [--timeout-secs S]` —
+//! run every spec in a grid file on the work-stealing queue, streaming
+//! CSV rows to stdout as jobs finish (status lines go to stderr).
+//! `--out` additionally writes the rows in spec order, which — because
+//! the queue's results are bit-identical to a serial run — is the same
+//! file any job count produces.
+
+use std::fs;
+use std::time::{Duration, Instant};
+
+use dlk_sim::{JobStatus, RunReport, SweepRunner};
+
+use crate::args;
+use crate::CliError;
+
+const USAGE: &str = "dlk sweep <grid.dlk> [--jobs N] [--out FILE] [--timeout-secs S]";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage errors, grid parse errors, `--out` write failures, and
+/// [`CliError::Failed`] when any job ended other than `done`.
+pub fn run(mut args: Vec<String>) -> Result<(), CliError> {
+    let jobs = args::take_value(&mut args, "--jobs")?;
+    let out = args::take_value(&mut args, "--out")?;
+    let timeout = args::take_value(&mut args, "--timeout-secs")?;
+    let grid = super::one_operand(args, USAGE)?;
+    let specs = super::load_specs(&grid)?;
+
+    let mut runner = match jobs {
+        Some(raw) => {
+            let n = args::parse_count("--jobs", &raw)?;
+            if n == 0 {
+                return Err(CliError::Usage("--jobs must be at least 1".to_owned()));
+            }
+            SweepRunner::with_threads(n as usize)
+        }
+        None => SweepRunner::parallel(),
+    };
+    if let Some(raw) = timeout {
+        runner = runner.timeout(Duration::from_secs(args::parse_count("--timeout-secs", &raw)?));
+    }
+    runner = runner.on_progress(|outcome| {
+        match &outcome.report {
+            Ok(report) => println!("{}", report.to_csv_row()),
+            Err(err) => {
+                eprintln!("dlk: sweep: {} {}: {err}", outcome.status().token(), outcome.label);
+            }
+        }
+        true
+    });
+
+    println!("{}", RunReport::csv_header());
+    let started = Instant::now();
+    let threads = runner.threads();
+    let outcomes = runner.run_jobs(&specs);
+    let elapsed = started.elapsed();
+
+    if let Some(path) = out {
+        let mut csv = String::from(RunReport::csv_header());
+        csv.push('\n');
+        for outcome in &outcomes {
+            if let Ok(report) = &outcome.report {
+                csv.push_str(&report.to_csv_row());
+                csv.push('\n');
+            }
+        }
+        fs::write(&path, csv).map_err(|e| CliError::io(&path, e))?;
+    }
+
+    let done = outcomes.iter().filter(|o| o.status() == JobStatus::Done).count();
+    let stolen = outcomes.iter().filter(|o| o.stolen).count();
+    let rate = outcomes.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    eprintln!(
+        "dlk: sweep: {done}/{} done on {threads} worker(s) in {elapsed:.2?} \
+         ({rate:.2} jobs/s, {stolen} stolen)",
+        outcomes.len(),
+    );
+    if done < outcomes.len() {
+        return Err(CliError::Failed(format!(
+            "{} of {} jobs did not finish done",
+            outcomes.len() - done,
+            outcomes.len()
+        )));
+    }
+    Ok(())
+}

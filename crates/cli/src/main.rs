@@ -1,0 +1,3 @@
+fn main() {
+    std::process::exit(dlk_cli::run_main(std::env::args().skip(1).collect()));
+}

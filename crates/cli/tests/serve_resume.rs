@@ -1,0 +1,175 @@
+//! Satellite: the crash-safety contract, end to end. A spool of specs
+//! is served to completion once (the baseline), then served again in a
+//! fresh out directory with the `abort_after` crash hook killing the
+//! daemon after K journaled completions. The restarted daemon must
+//! execute exactly the remaining jobs, and the merged `results.csv`
+//! must be byte-for-byte identical to the uninterrupted run's.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dlk_cli::spool::{serve, Journal, ServeConfig, JOURNAL_FILE, RESULTS_FILE};
+
+/// Quick catalog entries (tiny geometry, sub-millisecond each).
+const NAMES: [&str; 6] = [
+    "hammer-vs-none",
+    "hammer-vs-dram-locker",
+    "hammer-vs-rrs",
+    "hammer-vs-srs",
+    "hammer-vs-shadow",
+    "hammer-vs-twice",
+];
+
+struct Sandbox {
+    root: PathBuf,
+}
+
+impl Sandbox {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("dlk-serve-{tag}-{}", std::process::id()));
+        fs::remove_dir_all(&root).ok();
+        fs::create_dir_all(root.join("spool")).unwrap();
+        Self { root }
+    }
+
+    /// Seeds the spool: the first three specs in `a.dlk`, the rest in
+    /// `b.dlk` — a multi-spec file per spool entry is the common case.
+    fn seed_spool(&self) {
+        let spec_text = |name: &str| dlk_sim::find(name).unwrap().spec.to_text();
+        let (first, rest) = NAMES.split_at(3);
+        let join = |names: &[&str]| names.iter().map(|n| spec_text(n)).collect::<String>();
+        fs::write(self.root.join("spool/a.dlk"), join(first)).unwrap();
+        fs::write(self.root.join("spool/b.dlk"), join(rest)).unwrap();
+    }
+
+    fn config(&self, out: &str, abort_after: Option<usize>) -> ServeConfig {
+        ServeConfig {
+            spool: self.root.join("spool"),
+            out: self.root.join(out),
+            jobs: 2,
+            poll: Duration::from_millis(10),
+            once: true,
+            job_timeout: Some(Duration::from_secs(60)),
+            abort_after,
+        }
+    }
+
+    fn results(&self, out: &str) -> String {
+        fs::read_to_string(self.root.join(out).join(RESULTS_FILE)).unwrap()
+    }
+
+    fn journal(&self, out: &str) -> Journal {
+        Journal::load(&self.root.join(out).join(JOURNAL_FILE)).unwrap()
+    }
+}
+
+impl Drop for Sandbox {
+    fn drop(&mut self) {
+        fs::remove_dir_all(&self.root).ok();
+    }
+}
+
+fn quiet() -> Arc<dlk_cli::spool::LogFn> {
+    Arc::new(|_line: &str| {})
+}
+
+#[test]
+fn kill_and_restart_merges_to_a_byte_identical_csv() {
+    let sandbox = Sandbox::new("resume");
+    sandbox.seed_spool();
+
+    // Baseline: one uninterrupted pass over the whole spool.
+    let baseline = serve(&sandbox.config("base", None), quiet()).unwrap();
+    assert_eq!((baseline.executed, baseline.failed, baseline.aborted), (6, 0, false));
+    let expected_csv = sandbox.results("base");
+    assert_eq!(expected_csv.lines().count(), 1 + 6, "header plus one row per spec");
+
+    // "Crash" after exactly 2 journaled completions: the queue is
+    // cancelled, nothing further is journaled, and results.csv is NOT
+    // rewritten (a dead process writes nothing).
+    let crashed = serve(&sandbox.config("out", Some(2)), quiet()).unwrap();
+    assert!(crashed.aborted);
+    assert_eq!(crashed.executed, 2);
+    let journal = sandbox.journal("out");
+    assert_eq!(journal.entries().len(), 2, "exactly K completions are durable");
+    assert!(
+        !sandbox.root.join("out").join(RESULTS_FILE).exists(),
+        "an aborted pass must not publish derived results"
+    );
+
+    // Restart: exactly the remaining four jobs execute, none repeat.
+    let resumed = serve(&sandbox.config("out", None), quiet()).unwrap();
+    assert_eq!((resumed.executed, resumed.skipped, resumed.aborted), (4, 2, false));
+    let journal = sandbox.journal("out");
+    assert_eq!(journal.entries().len(), 6);
+    let mut keys: Vec<&str> = journal.entries().iter().map(|e| e.key.as_str()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    assert_eq!(keys.len(), 6, "no job may be journaled twice");
+
+    // The merged CSV is byte-for-byte the uninterrupted one.
+    assert_eq!(sandbox.results("out"), expected_csv);
+
+    // A third pass is a no-op: everything skips, the CSV is untouched.
+    let idle = serve(&sandbox.config("out", None), quiet()).unwrap();
+    assert_eq!((idle.executed, idle.skipped), (0, 6));
+    assert_eq!(sandbox.results("out"), expected_csv);
+}
+
+#[test]
+fn poisoned_spool_files_are_skipped_not_fatal() {
+    let sandbox = Sandbox::new("poison");
+    sandbox.seed_spool();
+    fs::write(sandbox.root.join("spool/0-broken.dlk"), "# dlk-scenario v1\nbogus record\n")
+        .unwrap();
+
+    let logged: Arc<std::sync::Mutex<Vec<String>>> = Arc::default();
+    let sink = Arc::clone(&logged);
+    let summary = serve(
+        &sandbox.config("out", None),
+        Arc::new(move |line: &str| sink.lock().unwrap().push(line.to_owned())),
+    )
+    .unwrap();
+
+    assert_eq!((summary.executed, summary.failed), (6, 0), "good files still run");
+    let logged = logged.lock().unwrap();
+    assert!(
+        logged.iter().any(|l| l.contains("0-broken.dlk") && l.contains("line 2")),
+        "the poisoned file must be reported with parse context: {logged:?}"
+    );
+}
+
+#[test]
+fn torn_journal_tail_is_retried_on_restart() {
+    let sandbox = Sandbox::new("torn");
+    sandbox.seed_spool();
+    let complete = serve(&sandbox.config("out", None), quiet()).unwrap();
+    assert_eq!(complete.executed, 6);
+    let expected_csv = sandbox.results("out");
+
+    // Tear the last journal line mid-write (no trailing newline): that
+    // completion was never committed, so the restart redoes it.
+    let journal_path = sandbox.root.join("out").join(JOURNAL_FILE);
+    let text = fs::read_to_string(&journal_path).unwrap();
+    let torn = &text[..text.trim_end_matches('\n').len() - 10];
+    fs::write(&journal_path, torn).unwrap();
+
+    let resumed = serve(&sandbox.config("out", None), quiet()).unwrap();
+    assert_eq!((resumed.executed, resumed.skipped), (1, 5));
+    assert_eq!(sandbox.results("out"), expected_csv, "rebuilt CSV matches bytes");
+}
+
+#[test]
+fn results_are_ordered_by_spool_position_not_completion() {
+    let sandbox = Sandbox::new("order");
+    sandbox.seed_spool();
+    serve(&sandbox.config("out", None), quiet()).unwrap();
+    let csv = sandbox.results("out");
+    let scenarios: Vec<&str> =
+        csv.lines().skip(1).map(|row| row.split(',').next().unwrap()).collect();
+    // a.dlk's three specs, then b.dlk's three, regardless of which of
+    // the two workers finished first.
+    assert_eq!(scenarios, NAMES);
+}

@@ -25,8 +25,18 @@ pub enum SimError {
     SpecParse {
         /// 1-based line number of the offending record.
         line: usize,
+        /// The offending line's content (trimmed; empty when the
+        /// source text is unavailable).
+        text: String,
         /// What was wrong with it.
         reason: String,
+    },
+    /// A spec file could not be read (or written) from disk.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying filesystem error.
+        error: std::io::Error,
     },
     /// A catalog lookup named no known scenario.
     UnknownScenario {
@@ -47,9 +57,14 @@ impl std::fmt::Display for SimError {
             SimError::Locker(e) => write!(f, "locker: {e}"),
             SimError::Engine(e) => write!(f, "engine: {e}"),
             SimError::Build(msg) => write!(f, "scenario build: {msg}"),
-            SimError::SpecParse { line, reason } => {
-                write!(f, "spec parse: line {line}: {reason}")
+            SimError::SpecParse { line, text, reason } => {
+                write!(f, "spec parse: line {line}: {reason}")?;
+                if !text.is_empty() {
+                    write!(f, "\n  {line} | {text}")?;
+                }
+                Ok(())
             }
+            SimError::Io { path, error } => write!(f, "io: {path}: {error}"),
             SimError::UnknownScenario { name, suggestion } => {
                 write!(f, "unknown scenario '{name}'")?;
                 if let Some(suggestion) = suggestion {

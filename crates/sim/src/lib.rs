@@ -99,7 +99,7 @@ pub use crate::mitigation::{
 pub use crate::report::{AttackOutcome, MitigationReport, RunReport, VictimReport};
 pub use crate::scenario::{Budget, Scenario, ScenarioBuilder, ScenarioRun};
 pub use crate::spec::{AttackSpec, DefenseSpec, GeometrySpec, ScenarioSpec};
-pub use crate::sweep::{SweepGrid, SweepResult, SweepRunner};
+pub use crate::sweep::{JobError, JobOutcome, JobStatus, SweepGrid, SweepResult, SweepRunner};
 pub use crate::victim::{DeployedVictim, VictimSpec};
 
 pub use dlk_dnn::models::ModelKind;

@@ -465,8 +465,14 @@ impl ScenarioSpec {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::SpecParse`] with the offending line number.
+    /// Returns [`SimError::SpecParse`] with the offending 1-based line
+    /// number *and* the offending line's content, so front ends (the
+    /// `dlk` CLI) can print actionable parse failures.
     pub fn from_text(text: &str) -> Result<Self, SimError> {
+        Self::parse_text(text).map_err(|err| attach_line_text(err, text))
+    }
+
+    fn parse_text(text: &str) -> Result<Self, SimError> {
         let mut spec = ScenarioSpec::default();
         // `tenant`/`op` continuation lines attach to the most recent
         // `attack replay` / `attack replay-trace` record.
@@ -568,10 +574,97 @@ impl ScenarioSpec {
         }
         Ok(spec)
     }
+
+    /// Loads one spec from a `.dlk` file on disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Io`] when the file cannot be read and
+    /// [`SimError::SpecParse`] (line number + offending line) when it
+    /// cannot be parsed.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<Self, SimError> {
+        Self::from_text(&read_spec_file(path.as_ref())?)
+    }
+
+    /// Parses a *spec list*: one file holding any number of specs,
+    /// formed by concatenating [`to_text`](ScenarioSpec::to_text)
+    /// outputs. Every `label` record after the first starts a new spec
+    /// (exactly the boundary `to_text` emits first), so `dlk sweep`
+    /// grids and spool files are plain concatenations. Parse errors
+    /// keep whole-file line numbers. Files holding only comments and
+    /// blank lines parse to an empty list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SpecParse`] with the offending line.
+    pub fn list_from_text(text: &str) -> Result<Vec<Self>, SimError> {
+        let mut chunks: Vec<(usize, String)> = Vec::new(); // (0-based start line, body)
+        let mut current = String::new();
+        let mut start = 0usize;
+        let mut has_label = false;
+        let mut has_record = false;
+        for (index, raw) in text.lines().enumerate() {
+            let record = raw.trim();
+            let is_record = !record.is_empty() && !record.starts_with('#');
+            if is_record && record.split_whitespace().next() == Some("label") {
+                if has_label {
+                    chunks.push((start, std::mem::take(&mut current)));
+                    start = index;
+                    has_record = false;
+                }
+                has_label = true;
+            }
+            current.push_str(raw);
+            current.push('\n');
+            has_record |= is_record;
+        }
+        if has_record {
+            chunks.push((start, current));
+        }
+        chunks
+            .into_iter()
+            .map(|(start, body)| {
+                // Left-pad with the chunk's offset so errors report
+                // whole-file line numbers (the padding lines are blank
+                // and skipped by the parser).
+                let padded = "\n".repeat(start) + &body;
+                Self::from_text(&padded)
+            })
+            .collect()
+    }
+
+    /// Loads a spec list (see
+    /// [`list_from_text`](ScenarioSpec::list_from_text)) from a `.dlk`
+    /// file on disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Io`] when the file cannot be read and
+    /// [`SimError::SpecParse`] when any spec in it cannot be parsed.
+    pub fn list_from_file(path: impl AsRef<std::path::Path>) -> Result<Vec<Self>, SimError> {
+        Self::list_from_text(&read_spec_file(path.as_ref())?)
+    }
+}
+
+fn read_spec_file(path: &std::path::Path) -> Result<String, SimError> {
+    std::fs::read_to_string(path)
+        .map_err(|error| SimError::Io { path: path.display().to_string(), error })
+}
+
+/// Fills an empty [`SimError::SpecParse`] `text` field with the
+/// offending line's (trimmed) content from the source being parsed.
+fn attach_line_text(err: SimError, source: &str) -> SimError {
+    match err {
+        SimError::SpecParse { line, text, reason } if text.is_empty() => {
+            let content = source.lines().nth(line.saturating_sub(1)).unwrap_or("").trim();
+            SimError::SpecParse { line, text: content.to_owned(), reason }
+        }
+        other => other,
+    }
 }
 
 fn parse_error(line: usize, reason: &str) -> SimError {
-    SimError::SpecParse { line, reason: reason.to_owned() }
+    SimError::SpecParse { line, text: String::new(), reason: reason.to_owned() }
 }
 
 fn one_token<'a>(
@@ -1023,9 +1116,41 @@ mod tests {
     }
 
     #[test]
+    fn spec_lists_split_on_label_records() {
+        let specs = vec![rich_spec(), ScenarioSpec::new("second"), ScenarioSpec::new("third")];
+        let text: String = specs.iter().map(ScenarioSpec::to_text).collect();
+        let parsed = ScenarioSpec::list_from_text(&text).unwrap();
+        assert_eq!(parsed, specs);
+        // A single spec with its label mid-file stays one spec.
+        let parsed = ScenarioSpec::list_from_text("geometry paper\nlabel late\n").unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].label, "late");
+        assert_eq!(parsed[0].geometry, GeometrySpec::Paper);
+        // Comment-only files are an empty list, not a default spec.
+        assert_eq!(ScenarioSpec::list_from_text("# nothing here\n\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn spec_list_errors_keep_whole_file_line_numbers() {
+        let mut text = ScenarioSpec::new("one").to_text();
+        text.push_str(&ScenarioSpec::new("two").to_text());
+        text.push_str("defense bogus\n");
+        let err = ScenarioSpec::list_from_text(&text).unwrap_err();
+        let expected_line = text.lines().count();
+        match err {
+            SimError::SpecParse { line, ref text, .. } => {
+                assert_eq!(line, expected_line);
+                assert_eq!(text, "defense bogus");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
     fn parse_errors_carry_line_numbers() {
         let err = ScenarioSpec::from_text("label x\nbogus record\n").unwrap_err();
         assert!(matches!(err, SimError::SpecParse { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("2 | bogus record"), "{err}");
         let err = ScenarioSpec::from_text("victim rows home=0\n").unwrap_err();
         assert!(err.to_string().contains("protect"), "{err}");
         let err = ScenarioSpec::from_text("tenant sequential base=0 len=8 count=1\n").unwrap_err();

@@ -1,13 +1,22 @@
-//! Grid expansion and parallel execution over scenario specs.
+//! Grid expansion and work-stealing parallel execution over scenario
+//! specs.
 //!
 //! The paper's results are grids — attack × defense × geometry sweeps
 //! reported as tables and figures. [`SweepGrid`] expands axes over a
 //! base [`ScenarioSpec`] into a flat, deterministic spec list;
-//! [`SweepRunner`] executes any spec list across scoped worker threads
-//! and returns results in spec order, bit-identical to running each
-//! spec serially (scenarios share no state, and each one's engine is
-//! already deterministic). Feed the reports to
-//! [`metrics::Table`](crate::metrics::Table) for CSV/markdown export.
+//! [`SweepRunner`] executes any spec list on a work-stealing job queue
+//! (a shared injector plus one deque per worker; an idle worker steals
+//! from a sibling's tail) and returns results in spec order,
+//! bit-identical to running each spec serially (scenarios share no
+//! state, and each one's engine is already deterministic). Feed the
+//! reports to [`metrics::Table`](crate::metrics::Table) for
+//! CSV/markdown export.
+//!
+//! Serving fronts (the `dlk` daemon) get three extra guarantees per
+//! job: a wall-clock [`timeout`](SweepRunner::timeout), panic
+//! isolation (a poisoned spec fails *that* [`JobOutcome`], not the
+//! process), and an [`on_progress`](SweepRunner::on_progress) callback
+//! streamed in completion order that can cancel the rest of the queue.
 //!
 //! ```
 //! use dlk_sim::sweep::{SweepGrid, SweepRunner};
@@ -28,8 +37,11 @@
 //! # }
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use dlk_dnn::models::ModelKind;
 
@@ -154,32 +166,208 @@ pub struct SweepResult {
     pub report: Result<RunReport, SimError>,
 }
 
-/// Executes spec lists, optionally across scoped worker threads.
+/// How one queued job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The scenario ran and produced a report.
+    Done,
+    /// The scenario failed to build or run ([`SimError`]).
+    Failed,
+    /// The job panicked; the worker (and the queue) survived.
+    Panicked,
+    /// The job exceeded the per-job wall-clock timeout.
+    TimedOut,
+    /// The queue was cancelled before this job executed.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// The stable lowercase token (`done`/`failed`/`panicked`/
+    /// `timed-out`/`cancelled`) used in logs and journals.
+    pub fn token(self) -> &'static str {
+        match self {
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Panicked => "panicked",
+            JobStatus::TimedOut => "timed-out",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Why a job produced no report.
+#[derive(Debug)]
+pub enum JobError {
+    /// Scenario build/run failure.
+    Scenario(SimError),
+    /// The job panicked with this message.
+    Panicked(String),
+    /// The job exceeded this wall-clock budget.
+    TimedOut(Duration),
+    /// The queue was cancelled (by the progress callback) before the
+    /// job executed.
+    Cancelled,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Scenario(e) => write!(f, "{e}"),
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::TimedOut(limit) => write!(f, "job timed out after {limit:?}"),
+            JobError::Cancelled => write!(f, "job cancelled before execution"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// One executed (or skipped) job of a sweep, with scheduling metadata.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Index into the submitted spec list.
+    pub index: usize,
+    /// The spec's label (`#<index>` for closure jobs).
+    pub label: String,
+    /// The worker that executed the job (`None` when cancelled).
+    pub worker: Option<usize>,
+    /// The job was stolen from another worker's deque.
+    pub stolen: bool,
+    /// Wall-clock time the job spent executing.
+    pub wall: Duration,
+    /// The report, or why there is none.
+    pub report: Result<RunReport, JobError>,
+}
+
+impl JobOutcome {
+    /// The job's terminal status.
+    pub fn status(&self) -> JobStatus {
+        match &self.report {
+            Ok(_) => JobStatus::Done,
+            Err(JobError::Scenario(_)) => JobStatus::Failed,
+            Err(JobError::Panicked(_)) => JobStatus::Panicked,
+            Err(JobError::TimedOut(_)) => JobStatus::TimedOut,
+            Err(JobError::Cancelled) => JobStatus::Cancelled,
+        }
+    }
+
+    fn cancelled(index: usize, label: String) -> Self {
+        Self {
+            index,
+            label,
+            worker: None,
+            stolen: false,
+            wall: Duration::ZERO,
+            report: Err(JobError::Cancelled),
+        }
+    }
+}
+
+/// The progress callback: invoked once per job in *completion* order,
+/// from worker threads. Returning `false` cancels the queue — workers
+/// stop taking jobs, in-flight jobs finish but every further outcome
+/// (including theirs) is still recorded in its slot.
+pub type ProgressFn = dyn Fn(&JobOutcome) -> bool + Send + Sync;
+
+/// The work-stealing job queue: one shared injector plus one deque per
+/// worker. Jobs are dealt to the locals in contiguous index blocks; a
+/// worker pops its own deque from the head, falls back to the
+/// injector, and finally steals from a sibling's *tail* (classic
+/// Chase-Lev shape, here lock-protected since the workspace vendors no
+/// lock-free deque). Scheduling never reorders results: every job's
+/// outcome lands in its submission-index slot.
+struct StealQueue {
+    injector: Mutex<VecDeque<usize>>,
+    locals: Vec<Mutex<VecDeque<usize>>>,
+    cancelled: AtomicBool,
+    steals: AtomicU64,
+}
+
+impl StealQueue {
+    fn deal(workers: usize, count: usize) -> Self {
+        let mut locals: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for index in 0..count {
+            // Contiguous blocks keep early indices on early workers, so
+            // a homogeneous grid still executes roughly in spec order.
+            locals[index * workers / count].push_back(index);
+        }
+        Self {
+            injector: Mutex::new(VecDeque::new()),
+            locals: locals.into_iter().map(Mutex::new).collect(),
+            cancelled: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Next job for `worker`: own head, then injector, then a steal
+    /// from a sibling's tail. `None` means the queue is drained (or
+    /// cancelled) for good — locals only shrink once dealing is done.
+    fn pop(&self, worker: usize) -> Option<(usize, bool)> {
+        if self.cancelled.load(Ordering::Acquire) {
+            return None;
+        }
+        if let Some(index) = self.locals[worker].lock().expect("local deque").pop_front() {
+            return Some((index, false));
+        }
+        if let Some(index) = self.injector.lock().expect("injector").pop_front() {
+            return Some((index, false));
+        }
+        let workers = self.locals.len();
+        for victim in (worker + 1..workers).chain(0..worker) {
+            if let Some(index) = self.locals[victim].lock().expect("victim deque").pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some((index, true));
+            }
+        }
+        None
+    }
+
+    fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+}
+
+/// Executes spec lists on the work-stealing queue.
 ///
 /// Results always come back in spec order, and each run is independent
 /// (own engine, own trained victim clones), so the parallel result set
 /// is bit-identical to the serial one — the determinism suite asserts
-/// exactly that.
-#[derive(Debug, Clone, Copy)]
+/// exactly that. [`timeout`](SweepRunner::timeout) bounds each job's
+/// wall clock, panics are isolated per job, and
+/// [`on_progress`](SweepRunner::on_progress) streams outcomes as they
+/// complete (and can cancel the rest of the queue).
+#[derive(Clone)]
 pub struct SweepRunner {
     threads: usize,
+    timeout: Option<Duration>,
+    progress: Option<Arc<ProgressFn>>,
+}
+
+impl std::fmt::Debug for SweepRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepRunner")
+            .field("threads", &self.threads)
+            .field("timeout", &self.timeout)
+            .field("progress", &self.progress.as_ref().map(|_| "Fn"))
+            .finish()
+    }
 }
 
 impl SweepRunner {
     /// Runs every spec on the calling thread, in order.
     pub fn serial() -> Self {
-        Self { threads: 1 }
+        Self::with_threads(1)
     }
 
     /// Runs specs across one worker per available core.
     pub fn parallel() -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self { threads }
+        Self::with_threads(threads)
     }
 
     /// Runs specs across exactly `threads` workers (at least one).
     pub fn with_threads(threads: usize) -> Self {
-        Self { threads: threads.max(1) }
+        Self { threads: threads.max(1), timeout: None, progress: None }
     }
 
     /// The worker count.
@@ -187,39 +375,139 @@ impl SweepRunner {
         self.threads
     }
 
+    /// Bounds each job's wall-clock time. A job past its deadline is
+    /// reported [`JobStatus::TimedOut`] and its worker moves on (the
+    /// abandoned computation finishes on a detached watchdog thread and
+    /// its result is dropped).
+    pub fn timeout(mut self, limit: Duration) -> Self {
+        self.timeout = Some(limit);
+        self
+    }
+
+    /// Streams every [`JobOutcome`] in completion order (from worker
+    /// threads — the callback must serialize its own side effects).
+    /// Returning `false` cancels the remaining queue: unexecuted jobs
+    /// come back [`JobStatus::Cancelled`], and no further outcomes
+    /// (including in-flight ones) reach the callback.
+    pub fn on_progress(
+        mut self,
+        progress: impl Fn(&JobOutcome) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.progress = Some(Arc::new(progress));
+        self
+    }
+
+    /// Executes every spec on the queue and returns one [`JobOutcome`]
+    /// per spec, in spec order.
+    pub fn run_jobs(&self, specs: &[ScenarioSpec]) -> Vec<JobOutcome> {
+        let specs: Arc<Vec<ScenarioSpec>> = Arc::new(specs.to_vec());
+        let labels: Vec<String> = specs.iter().map(|spec| spec.label.clone()).collect();
+        let job =
+            move |index: usize| Scenario::from_spec(&specs[index]).and_then(|mut run| run.run());
+        self.run_inner(labels, job)
+    }
+
+    /// Executes `count` closure jobs on the same queue machinery —
+    /// timeout, panic isolation, stealing and progress all apply. This
+    /// is the harness the queue tests and throughput benches drive;
+    /// scenario sweeps go through [`run_jobs`](SweepRunner::run_jobs).
+    pub fn run_fn(
+        &self,
+        count: usize,
+        job: impl Fn(usize) -> Result<RunReport, SimError> + Send + Sync + 'static,
+    ) -> Vec<JobOutcome> {
+        self.run_inner((0..count).map(|index| format!("#{index}")).collect(), job)
+    }
+
+    fn run_inner(
+        &self,
+        labels: Vec<String>,
+        job: impl Fn(usize) -> Result<RunReport, SimError> + Send + Sync + 'static,
+    ) -> Vec<JobOutcome> {
+        let count = labels.len();
+        if count == 0 {
+            return Vec::new();
+        }
+        let job: Arc<dyn Fn(usize) -> Result<RunReport, SimError> + Send + Sync> = Arc::new(job);
+        let workers = self.threads.min(count);
+        let queue = StealQueue::deal(workers, count);
+        let mut slots: Vec<Option<JobOutcome>> = Vec::new();
+        slots.resize_with(count, || None);
+        let slots = Mutex::new(slots);
+        let worker_loop = |worker: usize| {
+            while let Some((index, stolen)) = queue.pop(worker) {
+                let outcome = self.execute_one(index, labels[index].clone(), worker, stolen, &job);
+                let keep_going = self.progress.as_ref().is_none_or(|progress| progress(&outcome));
+                slots.lock().expect("sweep slots")[index] = Some(outcome);
+                if !keep_going {
+                    queue.cancel();
+                }
+            }
+        };
+        if workers == 1 {
+            worker_loop(0);
+        } else {
+            std::thread::scope(|scope| {
+                for worker in 0..workers {
+                    let worker_loop = &worker_loop;
+                    scope.spawn(move || worker_loop(worker));
+                }
+            });
+        }
+        slots
+            .into_inner()
+            .expect("sweep slots")
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| {
+                slot.unwrap_or_else(|| JobOutcome::cancelled(index, labels[index].clone()))
+            })
+            .collect()
+    }
+
+    fn execute_one(
+        &self,
+        index: usize,
+        label: String,
+        worker: usize,
+        stolen: bool,
+        job: &Arc<dyn Fn(usize) -> Result<RunReport, SimError> + Send + Sync>,
+    ) -> JobOutcome {
+        let start = Instant::now();
+        let report = match self.timeout {
+            None => flatten(catch_unwind(AssertUnwindSafe(|| job(index)))),
+            Some(limit) => {
+                // The only way to bound a job's wall clock without
+                // cooperative checks inside the scenario: run it on a
+                // watchdog thread and wait with a deadline. On timeout
+                // the thread is detached; it finishes eventually and
+                // its result is dropped with the dead channel.
+                let (sender, receiver) = mpsc::channel();
+                let job = Arc::clone(job);
+                std::thread::spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| job(index)));
+                    let _ = sender.send(result);
+                });
+                match receiver.recv_timeout(limit) {
+                    Ok(result) => flatten(result),
+                    Err(_) => Err(JobError::TimedOut(limit)),
+                }
+            }
+        };
+        JobOutcome { index, label, worker: Some(worker), stolen, wall: start.elapsed(), report }
+    }
+
     /// Executes every spec and returns results in spec order.
     pub fn run(&self, specs: &[ScenarioSpec]) -> Vec<SweepResult> {
-        let execute = |spec: &ScenarioSpec| Scenario::from_spec(spec).and_then(|mut run| run.run());
-        if self.threads == 1 || specs.len() <= 1 {
-            return specs
-                .iter()
-                .map(|spec| SweepResult { spec: spec.clone(), report: execute(spec) })
-                .collect();
-        }
-        let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<Result<RunReport, SimError>>> = Vec::new();
-        slots.resize_with(specs.len(), || None);
-        let slots = Mutex::new(slots);
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(specs.len()) {
-                scope.spawn(|| loop {
-                    // Work-stealing by index: whichever worker picks a
-                    // spec, its result lands in that spec's slot, so
-                    // scheduling never reorders results.
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = specs.get(index) else { break };
-                    let report = execute(spec);
-                    slots.lock().expect("sweep result lock")[index] = Some(report);
-                });
-            }
-        });
-        let slots = slots.into_inner().expect("sweep result lock");
         specs
             .iter()
-            .zip(slots)
-            .map(|(spec, report)| SweepResult {
+            .zip(self.run_jobs(specs))
+            .map(|(spec, outcome)| SweepResult {
                 spec: spec.clone(),
-                report: report.expect("every index was executed"),
+                report: outcome.report.map_err(|err| match err {
+                    JobError::Scenario(e) => e,
+                    other => SimError::Build(other.to_string()),
+                }),
             })
             .collect()
     }
@@ -232,6 +520,27 @@ impl SweepRunner {
     /// Returns the first failing spec's error, by spec order.
     pub fn run_reports(&self, specs: &[ScenarioSpec]) -> Result<Vec<RunReport>, SimError> {
         self.run(specs).into_iter().map(|result| result.report).collect()
+    }
+}
+
+fn flatten(
+    result: std::thread::Result<Result<RunReport, SimError>>,
+) -> Result<RunReport, JobError> {
+    match result {
+        Ok(Ok(report)) => Ok(report),
+        Ok(Err(err)) => Err(JobError::Scenario(err)),
+        Err(panic) => Err(JobError::Panicked(panic_message(&*panic))),
+    }
+}
+
+/// Extracts the human-readable payload of a caught panic.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(msg) = panic.downcast_ref::<&str>() {
+        (*msg).to_owned()
+    } else if let Some(msg) = panic.downcast_ref::<String>() {
+        msg.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -291,6 +600,84 @@ mod tests {
         assert_eq!(specs[0].victims[0].0.model_kind(), Some(ModelKind::TinyCnn));
         assert_eq!(specs[0].victims[1].0.model_kind(), None);
         assert_eq!(specs[0].label, "models/tiny-cnn");
+    }
+
+    fn failing_job(index: usize) -> Result<RunReport, SimError> {
+        Err(SimError::Build(format!("job {index}")))
+    }
+
+    #[test]
+    fn panics_are_isolated_to_their_job() {
+        let outcomes = SweepRunner::with_threads(2).run_fn(4, |index| {
+            assert!(index != 2, "deliberate poison");
+            failing_job(index)
+        });
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(outcomes[2].status(), JobStatus::Panicked);
+        assert!(
+            matches!(&outcomes[2].report, Err(JobError::Panicked(msg)) if msg.contains("poison"))
+        );
+        for index in [0, 1, 3] {
+            assert_eq!(outcomes[index].status(), JobStatus::Failed, "worker survived the panic");
+        }
+    }
+
+    #[test]
+    fn timeouts_fire_per_job_and_spare_the_rest() {
+        let outcomes =
+            SweepRunner::with_threads(2).timeout(Duration::from_millis(40)).run_fn(3, |index| {
+                if index == 1 {
+                    std::thread::sleep(Duration::from_secs(5));
+                }
+                failing_job(index)
+            });
+        assert_eq!(outcomes[1].status(), JobStatus::TimedOut);
+        assert_eq!(outcomes[0].status(), JobStatus::Failed);
+        assert_eq!(outcomes[2].status(), JobStatus::Failed);
+        assert!(outcomes[1].wall >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn progress_streams_every_job_once_and_can_cancel() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let outcomes = {
+            let seen = Arc::clone(&seen);
+            SweepRunner::with_threads(2)
+                .on_progress(move |job| {
+                    seen.lock().unwrap().push(job.index);
+                    true
+                })
+                .run_fn(8, failing_job)
+        };
+        let mut seen = seen.lock().unwrap().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+        assert!(outcomes.iter().all(|o| o.status() == JobStatus::Failed));
+
+        // A cancelling callback: after the first completion the queue
+        // stops handing out jobs; unexecuted slots come back Cancelled.
+        let outcomes = SweepRunner::serial().on_progress(|_| false).run_fn(5, failing_job);
+        assert_eq!(outcomes[0].status(), JobStatus::Failed);
+        assert!(outcomes[1..].iter().all(|o| o.status() == JobStatus::Cancelled));
+        assert!(outcomes[1..].iter().all(|o| o.worker.is_none()));
+    }
+
+    #[test]
+    fn idle_workers_steal_queued_jobs() {
+        // 2 workers, 8 jobs dealt 4+4; worker 0's first job sleeps, so
+        // worker 1 must steal from worker 0's tail to finish the rest.
+        let outcomes = SweepRunner::with_threads(2).run_fn(8, |index| {
+            if index == 0 {
+                std::thread::sleep(Duration::from_millis(120));
+            }
+            failing_job(index)
+        });
+        assert_eq!(outcomes.len(), 8);
+        assert!(
+            outcomes.iter().any(|o| o.stolen),
+            "an idle worker should have stolen from the sleeper's deque"
+        );
+        assert!(outcomes.iter().all(|o| o.worker.is_some()));
     }
 
     #[test]

@@ -75,6 +75,7 @@
 //! CSV/markdown through [`sim::metrics::Table`].
 
 pub use dlk_attacks as attacks;
+pub use dlk_cli as cli;
 pub use dlk_defenses as defenses;
 pub use dlk_dnn as dnn;
 pub use dlk_dram as dram;

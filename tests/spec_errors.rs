@@ -1,0 +1,68 @@
+//! Golden tests for spec-file diagnostics: a malformed `.dlk` line must
+//! be reported with its 1-based line number AND the offending line's
+//! text, in a stable human-readable shape — this is the error surface
+//! `dlk run`/`dlk sweep`/`dlk serve` print to operators, so the exact
+//! rendering is part of the CLI contract.
+
+use dram_locker::sim::ScenarioSpec;
+
+fn parse_err(source: &str) -> String {
+    ScenarioSpec::from_text(source).expect_err("spec must be rejected").to_string()
+}
+
+#[test]
+fn unknown_record_names_the_line_and_quotes_it() {
+    let err = parse_err("# dlk-scenario v1\nbogus record\n");
+    assert_eq!(err, "spec parse: line 2: unknown record 'bogus'\n  2 | bogus record");
+}
+
+#[test]
+fn bad_number_points_at_the_offending_line() {
+    let err = parse_err("# dlk-scenario v1\nlabel x\nattack hammer bit=nope\n");
+    assert_eq!(err, "spec parse: line 3: bad number 'nope'\n  3 | attack hammer bit=nope");
+}
+
+#[test]
+fn missing_field_is_reported_with_line_context() {
+    let err = parse_err("# dlk-scenario v1\nlabel x\nvictim rows home=0\n");
+    assert_eq!(err, "spec parse: line 3: missing field 'protect'\n  3 | victim rows home=0");
+}
+
+#[test]
+fn line_numbers_survive_leading_comments_and_blanks() {
+    let err = parse_err("# dlk-scenario v1\n\n# a comment\n\nbudget activations=\n");
+    assert!(
+        err.starts_with("spec parse: line 5: "),
+        "line number must count comments and blanks: {err}"
+    );
+    assert!(err.ends_with("  5 | budget activations="), "must quote the line: {err}");
+}
+
+#[test]
+fn list_parse_errors_keep_whole_file_line_numbers() {
+    // Two concatenated specs; the typo is in the SECOND chunk, and the
+    // reported line number must still be file-absolute.
+    let good = dram_locker::sim::catalog()[0].spec.to_text();
+    let good_lines = good.trim_end().lines().count();
+    let source = format!("{good}label second\nattack hammer bit=oops\n");
+    let err = ScenarioSpec::list_from_text(&source).expect_err("second chunk must fail");
+    let expected_line = good_lines + 2;
+    assert_eq!(
+        err.to_string(),
+        format!(
+            "spec parse: line {expected_line}: bad number 'oops'\n  \
+             {expected_line} | attack hammer bit=oops"
+        )
+    );
+}
+
+#[test]
+fn missing_spec_file_reports_the_path() {
+    let err = ScenarioSpec::from_file(std::path::Path::new("/nonexistent/specs/x.dlk"))
+        .expect_err("missing file must error");
+    let text = err.to_string();
+    assert!(
+        text.starts_with("io: /nonexistent/specs/x.dlk: "),
+        "io errors must carry the path: {text}"
+    );
+}
