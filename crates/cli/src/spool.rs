@@ -6,13 +6,17 @@
 //! in `checkpoint.log` (`<status>\t<key>\t<payload>\n`, payload = the
 //! report's CSV row for `done`, the error message otherwise). The
 //! trailing newline is the commit point: [`Journal::load`] ignores a
-//! torn final line without one, so a kill at any instant loses at most
-//! the jobs that were in flight. `results.csv` is *derived* state — it
-//! is rebuilt atomically (temp file + rename) from the journal after
-//! every batch, with rows ordered by spool position (file name, then
-//! spec index), never by completion order. An interrupted sweep that is
-//! resumed therefore produces a `results.csv` byte-identical to one
-//! that was never interrupted.
+//! torn final line without one, and [`serve`] truncates those torn
+//! bytes away before its first append (so a resumed entry never lands
+//! on the tail of a partial line), meaning a kill at any instant loses
+//! at most the jobs that were in flight. `results.csv` is *derived*
+//! state — it is rebuilt atomically (temp file + rename) from the
+//! journal after every batch, and on the first scan that finds nothing
+//! pending (covering a crash between the final journal append and the
+//! results rename), with rows ordered by spool position (file name,
+//! then spec index), never by completion order. An interrupted sweep
+//! that is resumed therefore produces a `results.csv` byte-identical
+//! to one that was never interrupted.
 //!
 //! Job keys are `<file-name>#<index>`: renaming a spool file or
 //! reordering specs inside it makes the work look new, which is the
@@ -151,7 +155,8 @@ pub struct JournalEntry {
 }
 
 impl JournalEntry {
-    fn is_done(&self) -> bool {
+    /// The entry records a successful (`done`) job.
+    pub fn is_done(&self) -> bool {
         self.status == JobStatus::Done.token()
     }
 }
@@ -162,6 +167,7 @@ impl JournalEntry {
 pub struct Journal {
     entries: Vec<JournalEntry>,
     index: HashMap<String, usize>,
+    committed_len: u64,
 }
 
 impl Journal {
@@ -184,6 +190,7 @@ impl Journal {
             Some(last) => &text[..=last],
             None => "",
         };
+        journal.committed_len = committed.len() as u64;
         for line in committed.lines() {
             let mut fields = line.splitn(3, '\t');
             if let (Some(status), Some(key), Some(payload)) =
@@ -217,6 +224,15 @@ impl Journal {
     /// Committed entries, in commit order.
     pub fn entries(&self) -> &[JournalEntry] {
         &self.entries
+    }
+
+    /// Byte length of the committed prefix of the file this journal was
+    /// loaded from (up to and including the last `\n`). Appending must
+    /// start here: a torn tail left by a crash has to be truncated away
+    /// first, or the next entry would be concatenated onto the partial
+    /// line and both would parse as one garbage entry on the next load.
+    pub fn committed_len(&self) -> u64 {
+        self.committed_len
     }
 
     /// Appends one entry durably (write + fsync — the trailing newline
@@ -261,9 +277,14 @@ pub fn serve(cfg: &ServeConfig, log: Arc<LogFn>) -> Result<ServeSummary, CliErro
         .append(true)
         .open(&journal_path)
         .map_err(|e| CliError::io(&journal_path, e))?;
+    // Drop any torn tail from a crashed predecessor before appending:
+    // `load` ignored those bytes, and leaving them would glue the next
+    // entry onto the partial line, corrupting both on the next load.
+    file.set_len(journal.committed_len()).map_err(|e| CliError::io(&journal_path, e))?;
 
     let mut summary = ServeSummary { executed: 0, skipped: 0, failed: 0, scans: 0, aborted: false };
     let mut seen_skipped: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut results_synced = false;
     let batch = Arc::new(Mutex::new(Batch { journal, file, completions: 0, aborted: false }));
 
     loop {
@@ -304,7 +325,18 @@ pub fn serve(cfg: &ServeConfig, log: Arc<LogFn>) -> Result<ServeSummary, CliErro
                 return Ok(summary);
             }
             write_results(&cfg.out, &jobs, &state.journal)?;
+            results_synced = true;
             log(&format!("serve: scan {}: {executed} executed, {failed} failed", summary.scans));
+        } else if !results_synced {
+            // Nothing pending, but the derived CSV may still be stale:
+            // a crash in the window between the last journaled job and
+            // the results rename leaves the journal complete while
+            // results.csv is missing or behind. Rebuild it once.
+            let state = batch.lock().expect("serve batch state poisoned");
+            if !state.journal.entries().is_empty() {
+                write_results(&cfg.out, &jobs, &state.journal)?;
+            }
+            results_synced = true;
         }
 
         if cfg.once {
@@ -425,13 +457,16 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("dlk-journal-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join(JOURNAL_FILE);
-        fs::write(
-            &path,
-            "done\ta.dlk#0\trow,one\nnot a journal line\nfailed\ta.dlk#1\tboom\ndone\ta.dlk#2\ttorn-no-newline",
-        )
-        .unwrap();
+        let text =
+            "done\ta.dlk#0\trow,one\nnot a journal line\nfailed\ta.dlk#1\tboom\ndone\ta.dlk#2\ttorn-no-newline";
+        fs::write(&path, text).unwrap();
         let journal = Journal::load(&path).unwrap();
         assert_eq!(journal.entries().len(), 2);
+        assert_eq!(
+            journal.committed_len(),
+            (text.rfind('\n').unwrap() + 1) as u64,
+            "committed_len must stop at the last newline so the torn tail gets truncated"
+        );
         assert!(journal.contains("a.dlk#0") && journal.contains("a.dlk#1"));
         assert!(!journal.contains("a.dlk#2"), "torn tail must not count as committed");
         assert_eq!(journal.get("a.dlk#0").unwrap().payload, "row,one");

@@ -159,6 +159,43 @@ fn torn_journal_tail_is_retried_on_restart() {
     let resumed = serve(&sandbox.config("out", None), quiet()).unwrap();
     assert_eq!((resumed.executed, resumed.skipped), (1, 5));
     assert_eq!(sandbox.results("out"), expected_csv, "rebuilt CSV matches bytes");
+
+    // The on-disk journal must be clean after the resumed append: the
+    // torn bytes were truncated, not glued to the re-executed job's
+    // entry, so a reload sees six well-formed committed lines.
+    let reloaded = sandbox.journal("out");
+    assert_eq!(reloaded.entries().len(), 6, "resume must not corrupt the journal file");
+    assert!(
+        reloaded.entries().iter().all(|e| e.is_done()),
+        "every committed entry parses as done: {:?}",
+        reloaded.entries()
+    );
+    let final_pass = serve(&sandbox.config("out", None), quiet()).unwrap();
+    assert_eq!((final_pass.executed, final_pass.skipped), (0, 6), "reloaded journal skips all");
+    assert_eq!(sandbox.results("out"), expected_csv);
+}
+
+#[test]
+fn crash_after_final_job_still_rebuilds_results_on_restart() {
+    let sandbox = Sandbox::new("finaljob");
+    sandbox.seed_spool();
+    let baseline = serve(&sandbox.config("base", None), quiet()).unwrap();
+    assert_eq!(baseline.executed, 6);
+    let expected_csv = sandbox.results("base");
+
+    // Crash in the window after the last completion was journaled but
+    // before the results.csv rename: the journal is complete, the CSV
+    // was never published.
+    let crashed = serve(&sandbox.config("out", Some(6)), quiet()).unwrap();
+    assert!(crashed.aborted);
+    assert_eq!(crashed.executed, 6);
+    assert!(!sandbox.root.join("out").join(RESULTS_FILE).exists());
+
+    // Restart finds nothing pending — the derived CSV must still be
+    // rebuilt from the journal, not left missing forever.
+    let resumed = serve(&sandbox.config("out", None), quiet()).unwrap();
+    assert_eq!((resumed.executed, resumed.skipped, resumed.aborted), (0, 6, false));
+    assert_eq!(sandbox.results("out"), expected_csv, "restart publishes the derived CSV");
 }
 
 #[test]

@@ -386,9 +386,12 @@ impl SweepRunner {
 
     /// Streams every [`JobOutcome`] in completion order (from worker
     /// threads — the callback must serialize its own side effects).
-    /// Returning `false` cancels the remaining queue: unexecuted jobs
-    /// come back [`JobStatus::Cancelled`], and no further outcomes
-    /// (including in-flight ones) reach the callback.
+    /// Returning `false` cancels the remaining queue: workers stop
+    /// taking jobs and unexecuted jobs come back
+    /// [`JobStatus::Cancelled`] — but jobs already in flight on other
+    /// workers run to completion, and their outcomes still reach the
+    /// callback (and are recorded in their slots). A callback that must
+    /// go quiet after cancelling needs its own guard.
     pub fn on_progress(
         mut self,
         progress: impl Fn(&JobOutcome) -> bool + Send + Sync + 'static,
