@@ -1,0 +1,99 @@
+//! Wall-clock trajectory of the paper-figure regenerations, pinned as
+//! a machine-readable snapshot.
+//!
+//! Each `fig*`/`table*` experiment is regenerated end to end and its
+//! best-of-N wall time recorded into `BENCH_figures.json` at the
+//! workspace root (shared observability schema, `kind: "bench"`).
+//! Unlike the per-primitive criterion benches, this tracks the cost of
+//! producing the artifacts themselves — so a regression anywhere in
+//! the stack (DRAM model, engine, attacks, DNN kernels) shows up as a
+//! figure getting slower across PRs. Pass `--fast` (CI) to run the
+//! test-fidelity variants and fewer reps.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use dlk_bench::snapshot::Snapshot;
+use dlk_xlayer::experiments::{fig1a, fig1b, fig7a, fig7b, fig8, table1, table2, Fidelity};
+
+/// Best-of-`reps` wall-clock seconds for `f`.
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best.as_secs_f64()
+}
+
+fn record(snap: &mut Snapshot, reps: usize, name: &str, f: impl FnMut()) -> f64 {
+    let secs = best_secs(reps, f);
+    snap.metric(name, secs * 1e3, "ms");
+    secs
+}
+
+fn main() {
+    let fast = std::env::args().any(|arg| arg == "--fast");
+    let (reps, fidelity) = if fast { (2, Fidelity::Fast) } else { (3, Fidelity::Full) };
+    let mut snap = Snapshot::new("figures");
+
+    println!("== Figure regeneration trajectory ({} mode) ==", if fast { "fast" } else { "full" });
+    println!("{:-<48}", "");
+    let mut total = 0.0;
+    let mut show = |name: &str, secs: f64| {
+        total += secs;
+        println!("{:<28} {:>12.1} ms", name, secs * 1e3);
+    };
+
+    show(
+        "fig1a_wall_ms",
+        record(&mut snap, reps, "fig1a_wall_ms", || {
+            fig1a::run(fidelity).render();
+        }),
+    );
+    show(
+        "fig1b_wall_ms",
+        record(&mut snap, reps, "fig1b_wall_ms", || {
+            fig1b::run().to_string();
+        }),
+    );
+    show(
+        "fig7a_wall_ms",
+        record(&mut snap, reps, "fig7a_wall_ms", || {
+            fig7a::run(fidelity).render();
+        }),
+    );
+    show(
+        "fig7b_wall_ms",
+        record(&mut snap, reps, "fig7b_wall_ms", || {
+            fig7b::run().to_string();
+        }),
+    );
+    show(
+        "fig8_wall_ms",
+        record(&mut snap, reps, "fig8_wall_ms", || {
+            fig8::run(fidelity);
+        }),
+    );
+    show(
+        "table1_wall_ms",
+        record(&mut snap, reps, "table1_wall_ms", || {
+            table1::run().to_string();
+        }),
+    );
+    show(
+        "table2_wall_ms",
+        record(&mut snap, reps, "table2_wall_ms", || {
+            table2::run(fidelity).to_string();
+        }),
+    );
+    println!("{:<28} {:>12.1} ms", "total", total * 1e3);
+
+    // Anchor the snapshot at the workspace root regardless of the CWD
+    // cargo chose for the bench binary.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = root.canonicalize().unwrap_or(root).join("BENCH_figures.json");
+    snap.write(&out).expect("snapshot write");
+    println!("snapshot -> {}", out.display());
+}

@@ -20,19 +20,28 @@ use dlk_locker::locktable::reference::ScanLockTable;
 use dlk_locker::{CompiledProgram, Instruction, LockTable};
 use dlk_memctrl::{MemCtrlConfig, MemRequest, MemoryController};
 
-/// Measured iterations/sec of `f` over a fixed wall-clock window.
+/// Measured iterations/sec of `f`: the best of three wall-clock
+/// windows. A single window absorbs whatever the host scheduler does
+/// to it — on a shared single-vCPU box one preemption can halve the
+/// reported rate — so the pin records the least-interfered window,
+/// which is the measurement that actually reflects the code.
 fn throughput(window: Duration, mut f: impl FnMut()) -> f64 {
     f(); // warm caches and lazy state once, untimed
-    let start = Instant::now();
-    let mut iters = 0u64;
-    loop {
-        f();
-        iters += 1;
-        let elapsed = start.elapsed();
-        if elapsed >= window {
-            return iters as f64 / elapsed.as_secs_f64();
-        }
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        let rate = loop {
+            f();
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= window {
+                break iters as f64 / elapsed.as_secs_f64();
+            }
+        };
+        best = best.max(rate);
     }
+    best
 }
 
 /// A canonical word stream: the SWAP-loop shape (copy bursts, a

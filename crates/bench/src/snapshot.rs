@@ -2,25 +2,19 @@
 //!
 //! Benches that pin a performance contract record their headline
 //! numbers here so CI (and future sessions) can diff them without
-//! scraping stdout. The JSON is hand-written — the workspace `serde`
-//! is a marker-only stub — and [`validate_json`] is a minimal
-//! well-formedness parser used both in tests and by the bench itself
-//! before the file is committed to disk.
-//!
-//! Schema (`schema_version` 1):
+//! scraping stdout. Rendering, validation and the atomic on-disk write
+//! all live in the shared [`dlk_obs::json`] layer (schema version 2);
+//! this module keeps the bench-facing `Snapshot` builder — a `kind:
+//! "bench"` document with a `metrics` section (name/value/unit) and a
+//! `speedups` section (name/value) — exactly as the benches have
+//! always used it.
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
-//!   "bench": "hot_path",
-//!   "build": {
-//!     "package_version": "0.1.0",
-//!     "profile": "release",
-//!     "arch": "x86_64",
-//!     "os": "linux",
-//!     "host_threads": 8,
-//!     "unix_time_secs": 1700000000
-//!   },
+//!   "schema_version": 2,
+//!   "kind": "bench",
+//!   "name": "hot_path",
+//!   "build": { ... },
 //!   "metrics": [
 //!     { "name": "decode_minstr_per_s", "value": 123.4, "unit": "M/s" }
 //!   ],
@@ -30,14 +24,16 @@
 //! }
 //! ```
 
-use std::fmt::Write as _;
-use std::fs;
 use std::io;
 use std::path::Path;
-use std::time::{SystemTime, UNIX_EPOCH};
 
-/// Version stamped into every snapshot; bump when the layout changes.
-pub const SCHEMA_VERSION: u32 = 1;
+use dlk_obs::json::{self, Document};
+
+/// The shared well-formedness parser (kept under its historic name).
+pub use dlk_obs::json::validate as validate_json;
+/// Schema version of the shared JSON layer (re-exported so bench code
+/// keeps one import path).
+pub use dlk_obs::json::SCHEMA_VERSION;
 
 /// One measured quantity.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,50 +81,34 @@ impl Snapshot {
         self
     }
 
+    /// Lowers the snapshot onto the shared schema-v2 document (both
+    /// sections always present, possibly empty).
+    pub fn to_document(&self) -> Document {
+        let mut doc = Document::new("bench", &self.bench);
+        doc.section("metrics");
+        doc.section("speedups");
+        for metric in &self.metrics {
+            doc.push_object(
+                "metrics",
+                &[
+                    ("name", json::escape(&metric.name)),
+                    ("value", json::number(metric.value)),
+                    ("unit", json::escape(&metric.unit)),
+                ],
+            );
+        }
+        for speedup in &self.speedups {
+            doc.push_object(
+                "speedups",
+                &[("name", json::escape(&speedup.name)), ("value", json::number(speedup.value))],
+            );
+        }
+        doc
+    }
+
     /// Renders the snapshot as a JSON document.
     pub fn to_json(&self) -> String {
-        let threads = std::thread::available_parallelism().map_or(1, usize::from);
-        let unix_time =
-            SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |elapsed| elapsed.as_secs());
-        let mut out = String::new();
-        out.push_str("{\n");
-        let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
-        let _ = writeln!(out, "  \"bench\": {},", json_string(&self.bench));
-        out.push_str("  \"build\": {\n");
-        let _ =
-            writeln!(out, "    \"package_version\": {},", json_string(env!("CARGO_PKG_VERSION")));
-        let profile = if cfg!(debug_assertions) { "debug" } else { "release" };
-        let _ = writeln!(out, "    \"profile\": {},", json_string(profile));
-        let _ = writeln!(out, "    \"arch\": {},", json_string(std::env::consts::ARCH));
-        let _ = writeln!(out, "    \"os\": {},", json_string(std::env::consts::OS));
-        let _ = writeln!(out, "    \"host_threads\": {threads},");
-        let _ = writeln!(out, "    \"unix_time_secs\": {unix_time}");
-        out.push_str("  },\n");
-        out.push_str("  \"metrics\": [");
-        for (i, metric) in self.metrics.iter().enumerate() {
-            let sep = if i == 0 { "" } else { "," };
-            let _ = write!(
-                out,
-                "{sep}\n    {{ \"name\": {}, \"value\": {}, \"unit\": {} }}",
-                json_string(&metric.name),
-                json_number(metric.value),
-                json_string(&metric.unit)
-            );
-        }
-        out.push_str(if self.metrics.is_empty() { "],\n" } else { "\n  ],\n" });
-        out.push_str("  \"speedups\": [");
-        for (i, speedup) in self.speedups.iter().enumerate() {
-            let sep = if i == 0 { "" } else { "," };
-            let _ = write!(
-                out,
-                "{sep}\n    {{ \"name\": {}, \"value\": {} }}",
-                json_string(&speedup.name),
-                json_number(speedup.value)
-            );
-        }
-        out.push_str(if self.speedups.is_empty() { "]\n" } else { "\n  ]\n" });
-        out.push_str("}\n");
-        out
+        self.to_document().to_json()
     }
 
     /// Serializes and writes `BENCH_<bench>.json`-style output to
@@ -137,216 +117,17 @@ impl Snapshot {
     ///
     /// # Errors
     ///
-    /// Returns any filesystem error; an invalid render (a bug in this
-    /// module) surfaces as [`io::ErrorKind::InvalidData`].
+    /// Returns any filesystem error; an invalid render (a bug in the
+    /// shared JSON layer) surfaces as [`io::ErrorKind::InvalidData`].
     pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let path = path.as_ref();
-        let json = self.to_json();
-        validate_json(&json).map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err))?;
-        let tmp = path.with_extension("json.tmp");
-        fs::write(&tmp, &json)?;
-        fs::rename(&tmp, path)
+        self.to_document().write(path)
     }
-}
-
-/// Escapes a string for JSON embedding (quotes included).
-fn json_string(raw: &str) -> String {
-    let mut out = String::with_capacity(raw.len() + 2);
-    out.push('"');
-    for ch in raw.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Formats an `f64` as a JSON number; non-finite values become `0`
-/// (JSON has no NaN/Infinity).
-fn json_number(value: f64) -> String {
-    if value.is_finite() {
-        format!("{value}")
-    } else {
-        "0".to_string()
-    }
-}
-
-/// Checks that `text` is a single well-formed JSON value. Not a full
-/// deserializer — the workspace has no real serde — just enough of a
-/// recursive-descent parser to reject anything `json.tool` would.
-///
-/// # Errors
-///
-/// Returns a human-readable description of the first syntax error.
-pub fn validate_json(text: &str) -> Result<(), String> {
-    let bytes = text.as_bytes();
-    let mut pos = 0usize;
-    parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing bytes at offset {pos}"));
-    }
-    Ok(())
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
-        Some(b'"') => parse_string(bytes, pos),
-        Some(b't') => parse_literal(bytes, pos, b"true"),
-        Some(b'f') => parse_literal(bytes, pos, b"false"),
-        Some(b'n') => parse_literal(bytes, pos, b"null"),
-        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
-        Some(other) => Err(format!("unexpected byte {other:#04x} at offset {pos}", pos = *pos)),
-        None => Err("unexpected end of input".into()),
-    }
-}
-
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-    *pos += 1; // consume '{'
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(());
-    }
-    loop {
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) != Some(&b'"') {
-            return Err(format!("expected object key at offset {pos}", pos = *pos));
-        }
-        parse_string(bytes, pos)?;
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) != Some(&b':') {
-            return Err(format!("expected ':' at offset {pos}", pos = *pos));
-        }
-        *pos += 1;
-        parse_value(bytes, pos)?;
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(());
-            }
-            _ => return Err(format!("expected ',' or '}}' at offset {pos}", pos = *pos)),
-        }
-    }
-}
-
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-    *pos += 1; // consume '['
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b']') {
-        *pos += 1;
-        return Ok(());
-    }
-    loop {
-        parse_value(bytes, pos)?;
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b']') => {
-                *pos += 1;
-                return Ok(());
-            }
-            _ => return Err(format!("expected ',' or ']' at offset {pos}", pos = *pos)),
-        }
-    }
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-    *pos += 1; // consume opening quote
-    while let Some(&byte) = bytes.get(*pos) {
-        match byte {
-            b'"' => {
-                *pos += 1;
-                return Ok(());
-            }
-            b'\\' => {
-                let escape = bytes.get(*pos + 1).copied();
-                match escape {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
-                    Some(b'u') => {
-                        let hex = bytes.get(*pos + 2..*pos + 6).ok_or("truncated \\u escape")?;
-                        if !hex.iter().all(u8::is_ascii_hexdigit) {
-                            return Err(format!("bad \\u escape at offset {pos}", pos = *pos));
-                        }
-                        *pos += 6;
-                    }
-                    _ => return Err(format!("bad escape at offset {pos}", pos = *pos)),
-                }
-            }
-            0x00..=0x1F => {
-                return Err(format!("raw control byte in string at offset {pos}", pos = *pos))
-            }
-            _ => *pos += 1,
-        }
-    }
-    Err("unterminated string".into())
-}
-
-fn parse_literal(bytes: &[u8], pos: &mut usize, expected: &[u8]) -> Result<(), String> {
-    if bytes.get(*pos..*pos + expected.len()) == Some(expected) {
-        *pos += expected.len();
-        Ok(())
-    } else {
-        Err(format!("bad literal at offset {pos}", pos = *pos))
-    }
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-    let start = *pos;
-    if bytes.get(*pos) == Some(&b'-') {
-        *pos += 1;
-    }
-    let digits_from = |bytes: &[u8], pos: &mut usize| {
-        let begin = *pos;
-        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
-            *pos += 1;
-        }
-        *pos > begin
-    };
-    if !digits_from(bytes, pos) {
-        return Err(format!("bad number at offset {start}"));
-    }
-    if bytes.get(*pos) == Some(&b'.') {
-        *pos += 1;
-        if !digits_from(bytes, pos) {
-            return Err(format!("bad fraction at offset {start}"));
-        }
-    }
-    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
-        *pos += 1;
-        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
-            *pos += 1;
-        }
-        if !digits_from(bytes, pos) {
-            return Err(format!("bad exponent at offset {start}"));
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     #[test]
     fn snapshot_json_is_valid_and_carries_fields() {
@@ -356,8 +137,9 @@ mod tests {
         snap.speedup("decode_vs_reference", 2.4);
         let json = snap.to_json();
         validate_json(&json).expect("snapshot JSON must parse");
-        assert!(json.contains("\"schema_version\": 1"));
-        assert!(json.contains("\"bench\": \"hot_path\""));
+        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"kind\": \"bench\""));
+        assert!(json.contains("\"name\": \"hot_path\""));
         assert!(json.contains("\"decode_minstr_per_s\""));
         assert!(json.contains("\"unit\": \"MFLOP/s\""));
         assert!(json.contains("\"decode_vs_reference\""));
@@ -388,43 +170,6 @@ mod tests {
         let json = snap.to_json();
         validate_json(&json).expect("escaped JSON must parse");
         assert!(json.contains("quote\\\"and\\\\slash\\n"));
-    }
-
-    #[test]
-    fn validator_accepts_json_corpus() {
-        for good in [
-            "null",
-            "true",
-            " false ",
-            "0",
-            "-12.5e+3",
-            "\"str \\u00e9\"",
-            "[]",
-            "[1, [2, {\"a\": null}]]",
-            "{\"k\": \"v\", \"n\": [1.5, -2]}",
-        ] {
-            validate_json(good).unwrap_or_else(|err| panic!("{good}: {err}"));
-        }
-    }
-
-    #[test]
-    fn validator_rejects_malformed_json() {
-        for bad in [
-            "",
-            "{",
-            "[1,]",
-            "{\"a\" 1}",
-            "{\"a\": 1,}",
-            "nul",
-            "01x",
-            "\"unterminated",
-            "\"bad \\q escape\"",
-            "1 2",
-            "{'a': 1}",
-            "[1] trailing",
-        ] {
-            assert!(validate_json(bad).is_err(), "{bad:?} should be rejected");
-        }
     }
 
     #[test]

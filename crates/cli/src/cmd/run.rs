@@ -1,12 +1,16 @@
-//! `dlk run <spec.dlk | catalog-name> [--csv]` — execute one spec file
-//! (every spec in it) or one named catalog entry.
+//! `dlk run <spec.dlk | catalog-name> [--csv] [--trace]` — execute one
+//! spec file (every spec in it) or one named catalog entry. `--trace`
+//! prints each run's span tree (wall time per pipeline phase, engine
+//! cycles on the attack span) to stderr, so it composes with `--csv`
+//! without corrupting the stdout rows.
 
+use dlk_sim::obs::Registry;
 use dlk_sim::{RunReport, Scenario};
 
 use crate::args;
 use crate::CliError;
 
-const USAGE: &str = "dlk run <spec.dlk | catalog-name> [--csv]";
+const USAGE: &str = "dlk run <spec.dlk | catalog-name> [--csv] [--trace]";
 
 /// Runs the subcommand.
 ///
@@ -16,13 +20,24 @@ const USAGE: &str = "dlk run <spec.dlk | catalog-name> [--csv]";
 /// catalog names (with did-you-mean), and scenario build/run failures.
 pub fn run(mut args: Vec<String>) -> Result<(), CliError> {
     let csv = args::take_switch(&mut args, "--csv");
+    let trace = args::take_switch(&mut args, "--trace");
     let target = super::one_operand(args, USAGE)?;
     let specs = super::load_specs(&target)?;
     if csv {
         println!("{}", RunReport::csv_header());
     }
     for (at, spec) in specs.iter().enumerate() {
-        let report = Scenario::from_spec(spec)?.run()?;
+        let mut run = Scenario::from_spec(spec)?;
+        let report = if trace {
+            let registry = Registry::new();
+            run.observe(&registry);
+            let (report, tree) = run.run_traced()?;
+            eprint!("{tree}");
+            eprint!("{}", registry.to_text());
+            report
+        } else {
+            run.run()?
+        };
         if csv {
             println!("{}", report.to_csv_row());
         } else {

@@ -66,6 +66,7 @@ pub fn run(mut args: Vec<String>) -> Result<(), CliError> {
         once,
         job_timeout,
         abort_after,
+        max_scans: None,
     };
     let summary = serve(&cfg, Arc::new(|line: &str| eprintln!("dlk: {line}")))?;
     eprintln!("dlk: {summary}");

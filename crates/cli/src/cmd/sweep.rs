@@ -1,19 +1,24 @@
-//! `dlk sweep <grid.dlk> [--jobs N] [--out FILE] [--timeout-secs S]` —
-//! run every spec in a grid file on the work-stealing queue, streaming
-//! CSV rows to stdout as jobs finish (status lines go to stderr).
-//! `--out` additionally writes the rows in spec order, which — because
-//! the queue's results are bit-identical to a serial run — is the same
-//! file any job count produces.
+//! `dlk sweep <grid.dlk> [--jobs N] [--out FILE] [--timeout-secs S]
+//! [--metrics FILE]` — run every spec in a grid file on the
+//! work-stealing queue, streaming CSV rows to stdout as jobs finish
+//! (status lines go to stderr). `--out` additionally writes the rows
+//! in spec order, which — because the queue's results are bit-identical
+//! to a serial run — is the same file any job count produces.
+//! `--metrics` dumps the observed registry (queue scheduling metrics
+//! plus the aggregated engine/controller/locker metrics of every run)
+//! as shared-schema JSON after the sweep.
 
 use std::fs;
 use std::time::{Duration, Instant};
 
+use dlk_sim::obs::Registry;
 use dlk_sim::{JobStatus, RunReport, SweepRunner};
 
 use crate::args;
 use crate::CliError;
 
-const USAGE: &str = "dlk sweep <grid.dlk> [--jobs N] [--out FILE] [--timeout-secs S]";
+const USAGE: &str =
+    "dlk sweep <grid.dlk> [--jobs N] [--out FILE] [--timeout-secs S] [--metrics FILE]";
 
 /// Runs the subcommand.
 ///
@@ -25,6 +30,7 @@ pub fn run(mut args: Vec<String>) -> Result<(), CliError> {
     let jobs = args::take_value(&mut args, "--jobs")?;
     let out = args::take_value(&mut args, "--out")?;
     let timeout = args::take_value(&mut args, "--timeout-secs")?;
+    let metrics = args::take_value(&mut args, "--metrics")?;
     let grid = super::one_operand(args, USAGE)?;
     let specs = super::load_specs(&grid)?;
 
@@ -40,6 +46,10 @@ pub fn run(mut args: Vec<String>) -> Result<(), CliError> {
     };
     if let Some(raw) = timeout {
         runner = runner.timeout(Duration::from_secs(args::parse_count("--timeout-secs", &raw)?));
+    }
+    let registry = Registry::new();
+    if metrics.is_some() {
+        runner = runner.observe(&registry);
     }
     runner = runner.on_progress(|outcome| {
         match &outcome.report {
@@ -67,6 +77,10 @@ pub fn run(mut args: Vec<String>) -> Result<(), CliError> {
             }
         }
         fs::write(&path, csv).map_err(|e| CliError::io(&path, e))?;
+    }
+    if let Some(path) = metrics {
+        registry.write_json("dlk-sweep", &path).map_err(|e| CliError::io(&path, e))?;
+        eprintln!("dlk: sweep: metrics written to {path}");
     }
 
     let done = outcomes.iter().filter(|o| o.status() == JobStatus::Done).count();

@@ -5,8 +5,8 @@
 //! data becomes loadable, runnable and queueable from disk.
 //!
 //! ```text
-//! dlk run <spec.dlk | catalog-name> [--csv]
-//! dlk sweep <grid.dlk> [--jobs N] [--out FILE] [--timeout-secs S]
+//! dlk run <spec.dlk | catalog-name> [--csv] [--trace]
+//! dlk sweep <grid.dlk> [--jobs N] [--out FILE] [--timeout-secs S] [--metrics FILE]
 //! dlk catalog [--filter SUBSTR] [--dump NAME [--to FILE]]
 //! dlk serve --spool DIR --out DIR [--jobs N] [--poll-ms M] [--once]
 //! ```
@@ -20,7 +20,9 @@
 //! directory for `.dlk` files, queues every spec, records each
 //! completion in an append-only checkpoint journal, and on restart
 //! skips already-completed work — a kill mid-sweep loses at most the
-//! in-flight jobs (see [`spool`] for the crash-safety contract).
+//! in-flight jobs (see [`spool`] for the crash-safety contract). Every
+//! scan atomically rewrites a `metrics.json` heartbeat (the shared
+//! observability schema) next to the journal.
 //!
 //! The binary is a thin shell over this library so the whole surface —
 //! argument parsing, commands, journal, daemon loop — is unit- and
@@ -37,8 +39,9 @@ pub const USAGE: &str = "\
 dlk — DRAM-Locker serving front door
 
 USAGE:
-  dlk run <spec.dlk | catalog-name> [--csv]
+  dlk run <spec.dlk | catalog-name> [--csv] [--trace]
   dlk sweep <grid.dlk> [--jobs N] [--out FILE] [--timeout-secs S]
+            [--metrics FILE]
   dlk catalog [--filter SUBSTR] [--dump NAME [--to FILE]]
   dlk serve --spool DIR --out DIR [--jobs N] [--poll-ms M] [--once]
             [--timeout-secs S] [--abort-after K]

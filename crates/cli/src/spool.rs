@@ -22,13 +22,14 @@
 //! reordering specs inside it makes the work look new, which is the
 //! conservative direction.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::{self, File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use dlk_sim::obs::{Counter, Registry};
 use dlk_sim::{JobOutcome, JobStatus, RunReport, ScenarioSpec, SweepRunner};
 
 use crate::CliError;
@@ -37,6 +38,11 @@ use crate::CliError;
 pub const JOURNAL_FILE: &str = "checkpoint.log";
 /// Derived CSV of every `done` job, inside the `--out` directory.
 pub const RESULTS_FILE: &str = "results.csv";
+/// Metrics heartbeat (shared JSON schema), inside the `--out`
+/// directory. Rewritten atomically (temp file + rename) after every
+/// scan and on shutdown; an aborted pass leaves it stale, exactly like
+/// [`RESULTS_FILE`].
+pub const METRICS_FILE: &str = "metrics.json";
 
 /// A log sink for daemon progress lines (stderr in the binary, a
 /// capturing buffer in tests).
@@ -61,6 +67,10 @@ pub struct ServeConfig {
     /// returning without rewriting the CSV) after this many journaled
     /// completions.
     pub abort_after: Option<usize>,
+    /// Test hook: return after this many scans even without `once`
+    /// (exercises multi-scan behavior — poisoned-file dedup, heartbeat
+    /// rewrites — without a background thread).
+    pub max_scans: Option<usize>,
 }
 
 /// What a serve pass did (the daemon loop only returns when `once` is
@@ -76,6 +86,8 @@ pub struct ServeSummary {
     pub failed: usize,
     /// Spool scans performed.
     pub scans: usize,
+    /// Distinct spool files that failed to parse (each logged once).
+    pub poisoned: usize,
     /// The `abort_after` crash hook fired.
     pub aborted: bool,
 }
@@ -84,12 +96,13 @@ impl std::fmt::Display for ServeSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "serve: {} executed ({} failed), {} skipped, {} scan{}{}",
+            "serve: {} executed ({} failed), {} skipped, {} scan{}{}{}",
             self.executed,
             self.failed,
             self.skipped,
             self.scans,
             if self.scans == 1 { "" } else { "s" },
+            if self.poisoned > 0 { format!(", {} poisoned", self.poisoned) } else { String::new() },
             if self.aborted { ", aborted" } else { "" },
         )
     }
@@ -109,15 +122,27 @@ pub fn job_key(file: &str, index: usize) -> String {
     format!("{file}#{index}")
 }
 
+/// What one spool scan found: runnable jobs plus the files that failed
+/// to parse (the caller decides how loudly to report those — the
+/// daemon logs each poisoned file once and counts it in the heartbeat).
+#[derive(Debug, Default)]
+pub struct SpoolScan {
+    /// Every spec of every parseable `.dlk` file, in file-name order.
+    pub jobs: Vec<SpoolJob>,
+    /// `(file name, parse error)` for each unparseable `.dlk` file.
+    pub poisoned: Vec<(String, String)>,
+}
+
 /// Scans the spool directory: every `.dlk` file in file-name order,
-/// split into its spec list. A file that fails to parse is reported via
-/// `log` and skipped — one poisoned file must not take the daemon down.
+/// split into its spec list. A file that fails to parse lands in
+/// [`SpoolScan::poisoned`] and is skipped — one poisoned file must not
+/// take the daemon down.
 ///
 /// # Errors
 ///
 /// Returns [`CliError::Io`] only when the directory itself is
 /// unreadable.
-pub fn scan_spool(dir: &Path, log: &LogFn) -> Result<Vec<SpoolJob>, CliError> {
+pub fn scan_spool(dir: &Path) -> Result<SpoolScan, CliError> {
     let mut files: Vec<PathBuf> = fs::read_dir(dir)
         .map_err(|e| CliError::io(dir, e))?
         .filter_map(Result::ok)
@@ -125,22 +150,22 @@ pub fn scan_spool(dir: &Path, log: &LogFn) -> Result<Vec<SpoolJob>, CliError> {
         .filter(|path| path.extension().is_some_and(|ext| ext == "dlk"))
         .collect();
     files.sort();
-    let mut jobs = Vec::new();
+    let mut scan = SpoolScan::default();
     for path in files {
         let name = path.file_name().unwrap_or_default().to_string_lossy().into_owned();
         match ScenarioSpec::list_from_file(&path) {
             Ok(specs) => {
-                jobs.extend(
+                scan.jobs.extend(
                     specs
                         .into_iter()
                         .enumerate()
                         .map(|(index, spec)| SpoolJob { key: job_key(&name, index), spec }),
                 );
             }
-            Err(err) => log(&format!("serve: skipping {}: {err}", path.display())),
+            Err(err) => scan.poisoned.push((path.display().to_string(), err.to_string())),
         }
     }
-    Ok(jobs)
+    Ok(scan)
 }
 
 /// One committed journal line.
@@ -261,6 +286,38 @@ struct Batch {
     aborted: bool,
 }
 
+/// The daemon's own event counters, alongside whatever the observed
+/// sweep queue and scenario runs report into the same registry.
+struct ServeMetrics {
+    registry: Registry,
+    scans: Arc<Counter>,
+    executed: Arc<Counter>,
+    failed: Arc<Counter>,
+    skipped: Arc<Counter>,
+    spool_poisoned: Arc<Counter>,
+}
+
+impl ServeMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        Self {
+            scans: registry.counter("serve.scans"),
+            executed: registry.counter("serve.executed"),
+            failed: registry.counter("serve.failed"),
+            skipped: registry.counter("serve.skipped"),
+            spool_poisoned: registry.counter("serve.spool_poisoned"),
+            registry,
+        }
+    }
+
+    /// Atomically publishes the heartbeat (validate + temp + rename,
+    /// via the shared JSON writer).
+    fn write(&self, out: &Path) -> Result<(), CliError> {
+        let path = out.join(METRICS_FILE);
+        self.registry.write_json("dlk-serve", &path).map_err(|e| CliError::io(&path, e))
+    }
+}
+
 /// Runs the daemon loop. Returns after one scan in `once` mode, when
 /// the `abort_after` crash hook fires, or never (steady-state daemon).
 ///
@@ -282,14 +339,29 @@ pub fn serve(cfg: &ServeConfig, log: Arc<LogFn>) -> Result<ServeSummary, CliErro
     // entry onto the partial line, corrupting both on the next load.
     file.set_len(journal.committed_len()).map_err(|e| CliError::io(&journal_path, e))?;
 
-    let mut summary = ServeSummary { executed: 0, skipped: 0, failed: 0, scans: 0, aborted: false };
-    let mut seen_skipped: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut summary =
+        ServeSummary { executed: 0, skipped: 0, failed: 0, scans: 0, poisoned: 0, aborted: false };
+    let metrics = ServeMetrics::new();
+    let mut seen_skipped: HashSet<String> = HashSet::new();
+    let mut poisoned_logged: HashSet<String> = HashSet::new();
     let mut results_synced = false;
     let batch = Arc::new(Mutex::new(Batch { journal, file, completions: 0, aborted: false }));
 
     loop {
         summary.scans += 1;
-        let jobs = scan_spool(&cfg.spool, &*log)?;
+        metrics.scans.inc();
+        let scan = scan_spool(&cfg.spool)?;
+        // Report each poisoned file once per daemon lifetime, not once
+        // per scan — a steady-state daemon polling a bad file would
+        // otherwise flood the log with the same line forever.
+        for (file, err) in &scan.poisoned {
+            if poisoned_logged.insert(file.clone()) {
+                summary.poisoned += 1;
+                metrics.spool_poisoned.inc();
+                log(&format!("serve: skipping {file}: {err}"));
+            }
+        }
+        let jobs = scan.jobs;
         let pending: Vec<SpoolJob> = {
             let state = batch.lock().expect("serve batch state poisoned");
             jobs.iter()
@@ -297,6 +369,7 @@ pub fn serve(cfg: &ServeConfig, log: Arc<LogFn>) -> Result<ServeSummary, CliErro
                     if state.journal.contains(&job.key) {
                         if seen_skipped.insert(job.key.clone()) {
                             summary.skipped += 1;
+                            metrics.skipped.inc();
                         }
                         false
                     } else {
@@ -314,13 +387,16 @@ pub fn serve(cfg: &ServeConfig, log: Arc<LogFn>) -> Result<ServeSummary, CliErro
                 pending.len(),
                 jobs.len()
             ));
-            let (executed, failed) = run_batch(cfg, &batch, &pending, &log);
+            let (executed, failed) = run_batch(cfg, &batch, &pending, &log, &metrics.registry);
             summary.executed += executed;
             summary.failed += failed;
+            metrics.executed.add(executed as u64);
+            metrics.failed.add(failed as u64);
             let state = batch.lock().expect("serve batch state poisoned");
             if state.aborted {
-                // Simulated crash: leave results.csv exactly as a real
-                // kill would — stale, to be rebuilt on resume.
+                // Simulated crash: leave results.csv (and the metrics
+                // heartbeat) exactly as a real kill would — stale, to
+                // be rebuilt on resume.
                 summary.aborted = true;
                 return Ok(summary);
             }
@@ -339,7 +415,12 @@ pub fn serve(cfg: &ServeConfig, log: Arc<LogFn>) -> Result<ServeSummary, CliErro
             results_synced = true;
         }
 
-        if cfg.once {
+        // The heartbeat: every scan ends with a fresh metrics.json, so
+        // an operator (or the CI smoke) can always read a consistent,
+        // current view — including the shutdown scan in `once` mode.
+        metrics.write(&cfg.out)?;
+
+        if cfg.once || cfg.max_scans.is_some_and(|max| summary.scans >= max) {
             return Ok(summary);
         }
         std::thread::sleep(cfg.poll);
@@ -354,6 +435,7 @@ fn run_batch(
     batch: &Arc<Mutex<Batch>>,
     pending: &[SpoolJob],
     log: &Arc<LogFn>,
+    registry: &Registry,
 ) -> (usize, usize) {
     let keys: Arc<Vec<String>> = Arc::new(pending.iter().map(|job| job.key.clone()).collect());
     let specs: Vec<ScenarioSpec> = pending.iter().map(|job| job.spec.clone()).collect();
@@ -363,35 +445,36 @@ fn run_batch(
     let keys_cb = Arc::clone(&keys);
     let log_cb = Arc::clone(log);
     let abort_after = cfg.abort_after;
-    let mut runner = SweepRunner::with_threads(cfg.jobs).on_progress(move |outcome| {
-        let mut state = state.lock().expect("serve batch state poisoned");
-        if state.aborted {
-            // In-flight stragglers after the simulated crash: a dead
-            // process journals nothing.
-            return false;
-        }
-        let key = keys_cb[outcome.index].clone();
-        let entry = journal_entry(&key, outcome);
-        let Batch { journal, file, .. } = &mut *state;
-        if let Err(err) = journal.append(file, entry) {
-            log_cb(&format!("serve: journal write failed for {key}: {err}"));
-            return false;
-        }
-        state.completions += 1;
-        log_cb(&format!(
-            "serve: {} {} ({:?}, worker {:?}{})",
-            state.journal.entries().last().map_or("?", |e| e.status.as_str()),
-            key,
-            outcome.wall,
-            outcome.worker,
-            if outcome.stolen { ", stolen" } else { "" },
-        ));
-        if abort_after.is_some_and(|k| state.completions >= k) {
-            state.aborted = true;
-            return false;
-        }
-        true
-    });
+    let mut runner =
+        SweepRunner::with_threads(cfg.jobs).observe(registry).on_progress(move |outcome| {
+            let mut state = state.lock().expect("serve batch state poisoned");
+            if state.aborted {
+                // In-flight stragglers after the simulated crash: a dead
+                // process journals nothing.
+                return false;
+            }
+            let key = keys_cb[outcome.index].clone();
+            let entry = journal_entry(&key, outcome);
+            let Batch { journal, file, .. } = &mut *state;
+            if let Err(err) = journal.append(file, entry) {
+                log_cb(&format!("serve: journal write failed for {key}: {err}"));
+                return false;
+            }
+            state.completions += 1;
+            log_cb(&format!(
+                "serve: {} {} ({:?}, worker {:?}{})",
+                state.journal.entries().last().map_or("?", |e| e.status.as_str()),
+                key,
+                outcome.wall,
+                outcome.worker,
+                if outcome.stolen { ", stolen" } else { "" },
+            ));
+            if abort_after.is_some_and(|k| state.completions >= k) {
+                state.aborted = true;
+                return false;
+            }
+            true
+        });
     if let Some(limit) = cfg.job_timeout {
         runner = runner.timeout(limit);
     }

@@ -88,7 +88,9 @@ fn sweep_streams_and_writes_spec_ordered_csv() {
     fs::write(&grid_path, grid).unwrap();
     let out_path = dir.join("sweep.csv").display().to_string();
 
-    let sweep = dlk(&["sweep", &grid_path, "--jobs", "2", "--out", &out_path]);
+    let metrics_path = dir.join("metrics.json").display().to_string();
+    let sweep =
+        dlk(&["sweep", &grid_path, "--jobs", "2", "--out", &out_path, "--metrics", &metrics_path]);
     assert!(sweep.status.success(), "{}", stderr(&sweep));
     assert_eq!(stdout(&sweep).lines().count(), 1 + 4, "header plus one streamed row each");
 
@@ -96,7 +98,26 @@ fn sweep_streams_and_writes_spec_ordered_csv() {
     let scenarios: Vec<&str> =
         csv.lines().skip(1).map(|row| row.split(',').next().unwrap()).collect();
     assert_eq!(scenarios, names, "--out rows are in spec order");
+
+    let metrics = fs::read_to_string(&metrics_path).unwrap();
+    dlk_sim::obs::json::validate(&metrics).expect("--metrics output must validate");
+    assert!(metrics.contains("\"sweep.jobs\""), "{metrics}");
+    assert!(metrics.contains("\"memctrl.served\""), "runs observed through the queue: {metrics}");
     fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_trace_prints_the_span_tree_to_stderr() {
+    let run = dlk(&["run", "hammer-vs-dram-locker", "--trace"]);
+    assert!(run.status.success(), "{}", stderr(&run));
+    assert!(stdout(&run).contains("hammer-vs-dram-locker"), "report on stdout");
+    let err = stderr(&run);
+    assert!(err.contains("scenario 'hammer-vs-dram-locker'"), "span root: {err}");
+    for phase in ["baseline-accuracy", "attack", "measure", "mitigation-stats"] {
+        assert!(err.contains(phase), "missing {phase} span: {err}");
+    }
+    assert!(err.contains("cycles"), "attack span carries cycle attribution: {err}");
+    assert!(err.contains("locker.locktable.lookups"), "registry text follows the tree: {err}");
 }
 
 #[test]
@@ -114,6 +135,9 @@ fn serve_once_drains_a_spool_and_then_skips() {
     assert!(stderr(&first).contains("1 executed (0 failed), 0 skipped"), "{}", stderr(&first));
     let csv = fs::read_to_string(dir.join("out/results.csv")).unwrap();
     assert_eq!(csv.lines().count(), 2);
+    let metrics = fs::read_to_string(dir.join("out/metrics.json")).unwrap();
+    dlk_sim::obs::json::validate(&metrics).expect("heartbeat must validate");
+    assert!(metrics.contains("\"serve.executed\""), "{metrics}");
 
     let second = dlk(&["serve", "--spool", &spool, "--out", &out, "--once"]);
     assert!(second.status.success());

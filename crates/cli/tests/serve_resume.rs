@@ -10,7 +10,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
-use dlk_cli::spool::{serve, Journal, ServeConfig, JOURNAL_FILE, RESULTS_FILE};
+use dlk_cli::spool::{serve, Journal, ServeConfig, JOURNAL_FILE, METRICS_FILE, RESULTS_FILE};
 
 /// Quick catalog entries (tiny geometry, sub-millisecond each).
 const NAMES: [&str; 6] = [
@@ -53,6 +53,7 @@ impl Sandbox {
             once: true,
             job_timeout: Some(Duration::from_secs(60)),
             abort_after,
+            max_scans: None,
         }
     }
 
@@ -134,11 +135,40 @@ fn poisoned_spool_files_are_skipped_not_fatal() {
     .unwrap();
 
     assert_eq!((summary.executed, summary.failed), (6, 0), "good files still run");
+    assert_eq!(summary.poisoned, 1);
     let logged = logged.lock().unwrap();
     assert!(
         logged.iter().any(|l| l.contains("0-broken.dlk") && l.contains("line 2")),
         "the poisoned file must be reported with parse context: {logged:?}"
     );
+}
+
+#[test]
+fn poisoned_files_log_once_and_count_in_the_heartbeat() {
+    let sandbox = Sandbox::new("poison-once");
+    fs::write(sandbox.root.join("spool/bad.dlk"), "# dlk-scenario v1\nbogus record\n").unwrap();
+
+    let logged: Arc<std::sync::Mutex<Vec<String>>> = Arc::default();
+    let sink = Arc::clone(&logged);
+    let mut cfg = sandbox.config("out", None);
+    cfg.once = false;
+    cfg.max_scans = Some(3);
+    let summary =
+        serve(&cfg, Arc::new(move |line: &str| sink.lock().unwrap().push(line.to_owned())))
+            .unwrap();
+
+    assert_eq!(summary.scans, 3);
+    assert_eq!(summary.poisoned, 1, "one distinct poisoned file across all scans");
+    let skipping: Vec<String> =
+        logged.lock().unwrap().iter().filter(|l| l.contains("bad.dlk")).cloned().collect();
+    assert_eq!(skipping.len(), 1, "logged once, not once per scan: {skipping:?}");
+
+    // The heartbeat validates against the shared schema and carries the
+    // poisoned count alongside the scan counter.
+    let metrics = fs::read_to_string(sandbox.root.join("out").join(METRICS_FILE)).unwrap();
+    dlk_sim::obs::json::validate(&metrics).expect("heartbeat must validate");
+    assert!(metrics.contains("\"serve.spool_poisoned\""), "{metrics}");
+    assert!(metrics.contains("\"serve.scans\""), "{metrics}");
 }
 
 #[test]

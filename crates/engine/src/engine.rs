@@ -1,7 +1,10 @@
 //! The sharded multi-channel execution engine.
 
+use std::sync::Arc;
+
 use dlk_dram::DramStats;
 use dlk_memctrl::{CompletedRequest, ControllerStats, MemCtrlConfig, MemRequest, MemoryController};
+use dlk_obs::{Counter, Histogram, Registry};
 
 use crate::config::EngineConfig;
 use crate::error::EngineError;
@@ -63,6 +66,51 @@ pub struct EngineSnapshot {
     pub bit_flips: u64,
 }
 
+/// Engine-level observability handles: wall time per shard drain and
+/// per merge. The engine always owns a bundle (private by default) so
+/// the drain path records unconditionally; [`ShardedEngine::observe`]
+/// swaps in registry-backed handles. The drain path is not hot —
+/// a handful of samples per run — so shared atomics are fine here,
+/// unlike the controller's per-request `CtrlMetrics`, which records
+/// locally and exports deltas.
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    /// Wall nanoseconds one shard spent draining its queue (one sample
+    /// per shard per drain — the per-channel step-time distribution).
+    pub drain_wall_ns: Arc<Histogram>,
+    /// Wall nanoseconds spent assembling the channel-ordered merge of
+    /// a drain's completions.
+    pub merge_wall_ns: Arc<Histogram>,
+    /// Shard drains performed.
+    pub drains: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    /// A private, unregistered bundle.
+    pub fn unregistered() -> Self {
+        Self {
+            drain_wall_ns: Arc::new(Histogram::new()),
+            merge_wall_ns: Arc::new(Histogram::new()),
+            drains: Arc::new(Counter::new()),
+        }
+    }
+
+    /// A bundle registered in `registry` under `<prefix>.*`.
+    pub fn registered(registry: &Registry, prefix: &str) -> Self {
+        Self {
+            drain_wall_ns: registry.histogram(&format!("{prefix}.drain_wall_ns")),
+            merge_wall_ns: registry.histogram(&format!("{prefix}.merge_wall_ns")),
+            drains: registry.counter(&format!("{prefix}.drains")),
+        }
+    }
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        Self::unregistered()
+    }
+}
+
 /// The sharded multi-channel execution engine: one [`ChannelShard`] per
 /// DRAM channel, a [`ChannelRouter`] in front, and a deterministic
 /// merge behind.
@@ -93,6 +141,8 @@ pub struct ShardedEngine {
     config: EngineConfig,
     router: ChannelRouter,
     shards: Vec<ChannelShard>,
+    metrics: EngineMetrics,
+    obs: Option<Registry>,
 }
 
 impl ShardedEngine {
@@ -130,7 +180,39 @@ impl ShardedEngine {
             return Err(EngineError::GeometryMismatch { channel: shard.channel() });
         }
         let router = ChannelRouter::new(config.channels, shards[0].controller().mapper());
-        Ok(Self { config, router, shards })
+        Ok(Self { config, router, shards, metrics: EngineMetrics::unregistered(), obs: None })
+    }
+
+    /// Wires the engine into a shared observability registry: engine
+    /// drain/merge timings register under `engine.*`, and from now on
+    /// every drain exports each shard controller's locally recorded
+    /// metrics into the shared `memctrl.*` names (deltas only, so
+    /// per-channel activity aggregates into a single fleet-wide view
+    /// without touching the controllers' hot path). Controller metrics
+    /// recorded before this call are included in the first export.
+    pub fn observe(&mut self, registry: &Registry) {
+        self.metrics = EngineMetrics::registered(registry, "engine");
+        self.obs = Some(registry.clone());
+        self.export_obs();
+    }
+
+    /// Folds every shard controller's locally recorded metrics into
+    /// the observed registry under `memctrl.*`. Delta-based — safe to
+    /// call at any boundary, and a no-op when [`Self::observe`] was
+    /// never called. [`Self::run_to_completion`] calls this after each
+    /// drain, so callers stepping controllers directly (per-request
+    /// drivers) are the only ones who need it explicitly.
+    pub fn export_obs(&mut self) {
+        if let Some(registry) = self.obs.clone() {
+            for shard in &mut self.shards {
+                shard.controller_mut().export_obs(&registry, "memctrl");
+            }
+        }
+    }
+
+    /// The engine-level metrics bundle.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
     }
 
     /// The engine configuration.
@@ -220,13 +302,22 @@ impl ShardedEngine {
     ///
     /// Returns the first failing channel's error (by channel id).
     pub fn run_to_completion(&mut self) -> Result<DrainOutcome, EngineError> {
+        let metrics = &self.metrics;
+        let drain_timed = |shard: &mut ChannelShard| {
+            let span = metrics.drain_wall_ns.span();
+            let result = shard.drain();
+            span.finish();
+            metrics.drains.inc();
+            result
+        };
         let results: Vec<Result<Vec<CompletedRequest>, EngineError>> =
             if self.config.parallel && self.shards.len() > 1 {
+                let drain_timed = &drain_timed;
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = self
                         .shards
                         .iter_mut()
-                        .map(|shard| scope.spawn(move || shard.drain()))
+                        .map(|shard| scope.spawn(move || drain_timed(shard)))
                         .collect();
                     // Joining in spawn order keeps the result vector in
                     // channel order regardless of completion order.
@@ -236,8 +327,9 @@ impl ShardedEngine {
                         .collect()
                 })
             } else {
-                self.shards.iter_mut().map(ChannelShard::drain).collect()
+                self.shards.iter_mut().map(drain_timed).collect()
             };
+        let merge_span = self.metrics.merge_wall_ns.span();
         let mut outcome = DrainOutcome { per_channel: Vec::with_capacity(results.len()) };
         let mut first_error = None;
         for result in results {
@@ -251,6 +343,8 @@ impl ShardedEngine {
                 }
             }
         }
+        merge_span.finish();
+        self.export_obs();
         match first_error {
             Some(err) => Err(err),
             None => Ok(outcome),
@@ -409,6 +503,25 @@ mod tests {
             let err = engine.run_to_completion().unwrap_err();
             assert!(matches!(err, EngineError::Shard { channel: 0, .. }), "{err:?}");
         }
+    }
+
+    #[test]
+    fn observe_aggregates_all_shards_into_one_registry() {
+        let registry = Registry::new();
+        let mut engine = tiny_engine(EngineConfig::sharded(4));
+        engine.observe(&registry);
+        let row_bytes = engine.primary().controller().geometry().row_bytes as u64;
+        for row in 0..8u64 {
+            engine.submit(MemRequest::write(row * row_bytes, vec![1]));
+        }
+        engine.run_to_completion().unwrap();
+        // All four channels' serves land in the one shared counter.
+        assert_eq!(registry.counter("memctrl.served").get(), 8);
+        assert_eq!(registry.histogram("memctrl.latency_cycles.write").count(), 8);
+        // One drain per shard, one merge for the run.
+        assert_eq!(registry.counter("engine.drains").get(), 4);
+        assert_eq!(registry.histogram("engine.drain_wall_ns").count(), 4);
+        assert_eq!(registry.histogram("engine.merge_wall_ns").count(), 1);
     }
 
     #[test]

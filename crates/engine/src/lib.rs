@@ -61,7 +61,7 @@ pub mod shard;
 pub mod workload;
 
 pub use crate::config::EngineConfig;
-pub use crate::engine::{DrainOutcome, EngineSnapshot, ShardedEngine};
+pub use crate::engine::{DrainOutcome, EngineMetrics, EngineSnapshot, ShardedEngine};
 pub use crate::error::EngineError;
 pub use crate::replay::{ChainedReplay, ReplaySource, TraceReplay};
 pub use crate::route::ChannelRouter;

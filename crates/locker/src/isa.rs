@@ -477,6 +477,10 @@ pub struct ProgramCache {
     programs: std::collections::HashMap<Vec<u16>, CompiledProgram>,
     hits: u64,
     misses: u64,
+    /// `(hits, misses)` already pushed to a registry by
+    /// [`ProgramCache::export_obs`], so repeated exports add deltas
+    /// only.
+    exported: std::cell::Cell<(u64, u64)>,
 }
 
 impl ProgramCache {
@@ -501,6 +505,18 @@ impl ProgramCache {
             self.hits += 1;
         }
         Ok(&self.programs[words])
+    }
+
+    /// Pushes the hit/miss counters into `registry` as
+    /// `<prefix>.hits` / `<prefix>.misses` — the exposition path for
+    /// counters that are otherwise private to the executor. Only the
+    /// delta since the previous export is added, so repeated exports
+    /// never double-count.
+    pub fn export_obs(&self, registry: &dlk_obs::Registry, prefix: &str) {
+        let (prev_hits, prev_misses) = self.exported.get();
+        registry.counter(&format!("{prefix}.hits")).add(self.hits.saturating_sub(prev_hits));
+        registry.counter(&format!("{prefix}.misses")).add(self.misses.saturating_sub(prev_misses));
+        self.exported.set((self.hits, self.misses));
     }
 
     /// Replays served from the cache.
@@ -654,12 +670,34 @@ impl MicroExecutor {
     pub fn cache(&self) -> &ProgramCache {
         &self.cache
     }
+
+    /// Surfaces the program cache's hit/miss counters in `registry`
+    /// under `<prefix>.*` (see [`ProgramCache::export_obs`]).
+    pub fn export_obs(&self, registry: &dlk_obs::Registry, prefix: &str) {
+        self.cache.export_obs(registry, prefix);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dlk_dram::DramConfig;
+
+    #[test]
+    fn program_cache_export_obs_adds_deltas_only() {
+        let registry = dlk_obs::Registry::new();
+        let mut cache = ProgramCache::new();
+        let words = MicroProgram::swap(0, 1, 2).assemble();
+        cache.get_or_compile(&words).unwrap(); // miss
+        cache.get_or_compile(&words).unwrap(); // hit
+        cache.export_obs(&registry, "locker.program_cache");
+        assert_eq!(registry.counter("locker.program_cache.hits").get(), 1);
+        assert_eq!(registry.counter("locker.program_cache.misses").get(), 1);
+        cache.get_or_compile(&words).unwrap(); // another hit
+        cache.export_obs(&registry, "locker.program_cache");
+        assert_eq!(registry.counter("locker.program_cache.hits").get(), 2);
+        assert_eq!(registry.counter("locker.program_cache.misses").get(), 1);
+    }
 
     #[test]
     fn encode_decode_roundtrip_all_variants() {

@@ -100,6 +100,13 @@ impl DramLocker {
         &self.table
     }
 
+    /// Surfaces the defense's interior counters in `registry`:
+    /// lock-table probe traffic under `<prefix>.locktable.*`. Deltas
+    /// only — safe to call after every run (the scenario runner does).
+    pub fn export_obs(&self, registry: &dlk_obs::Registry, prefix: &str) {
+        self.table.export_obs(registry, &format!("{prefix}.locktable"));
+    }
+
     /// Runtime statistics.
     pub fn stats(&self) -> &LockerStats {
         &self.stats

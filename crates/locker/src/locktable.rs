@@ -62,6 +62,9 @@ pub struct LockTable {
     capacity: usize,
     lookups: Cell<u64>,
     hits: Cell<u64>,
+    /// `(lookups, hits)` already pushed to a registry by
+    /// [`LockTable::export_obs`], so repeated exports add deltas only.
+    exported: Cell<(u64, u64)>,
 }
 
 impl Default for LockTable {
@@ -87,6 +90,7 @@ impl LockTable {
             capacity,
             lookups: Cell::new(0),
             hits: Cell::new(0),
+            exported: Cell::new((0, 0)),
         }
     }
 
@@ -220,6 +224,20 @@ impl LockTable {
         self.probe(row.0).1
     }
 
+    /// Pushes the probe counters into `registry` as
+    /// `<prefix>.lookups` / `<prefix>.hits`. Only the delta since the
+    /// previous export is added, so calling this after every run (the
+    /// scenario runner does) never double-counts — this is how the
+    /// table's private `Cell` counters surface in `metrics.json` and
+    /// the `--trace` exposition.
+    pub fn export_obs(&self, registry: &dlk_obs::Registry, prefix: &str) {
+        let (prev_lookups, prev_hits) = self.exported.get();
+        let (lookups, hits) = (self.lookups.get(), self.hits.get());
+        registry.counter(&format!("{prefix}.lookups")).add(lookups.saturating_sub(prev_lookups));
+        registry.counter(&format!("{prefix}.hits")).add(hits.saturating_sub(prev_hits));
+        self.exported.set((lookups, hits));
+    }
+
     /// Total lookups performed.
     pub fn lookups(&self) -> u64 {
         self.lookups.get()
@@ -347,6 +365,26 @@ pub mod reference {
 mod tests {
     use super::reference::ScanLockTable;
     use super::*;
+
+    #[test]
+    fn export_obs_adds_deltas_only() {
+        let registry = dlk_obs::Registry::new();
+        let mut table = LockTable::new(8);
+        table.lock(RowId(1)).unwrap();
+        table.is_locked(RowId(1)); // hit
+        table.is_locked(RowId(2)); // miss
+        table.export_obs(&registry, "locker.locktable");
+        assert_eq!(registry.counter("locker.locktable.lookups").get(), 2);
+        assert_eq!(registry.counter("locker.locktable.hits").get(), 1);
+        // A second export with no new probes adds nothing...
+        table.export_obs(&registry, "locker.locktable");
+        assert_eq!(registry.counter("locker.locktable.lookups").get(), 2);
+        // ...and new probes export as deltas.
+        table.is_locked(RowId(1));
+        table.export_obs(&registry, "locker.locktable");
+        assert_eq!(registry.counter("locker.locktable.lookups").get(), 3);
+        assert_eq!(registry.counter("locker.locktable.hits").get(), 2);
+    }
 
     #[test]
     fn lock_unlock_cycle() {

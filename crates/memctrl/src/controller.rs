@@ -13,6 +13,7 @@ use dlk_dram::{DramConfig, DramDevice, DramGeometry, RowAddr};
 use crate::error::MemCtrlError;
 use crate::interpose::{DefenseHook, HookAction, NoDefense};
 use crate::mapping::{AddressMapper, MappingScheme};
+use crate::metrics::CtrlMetrics;
 use crate::request::{MemRequest, RequestKind};
 use crate::scheduler::{RequestQueue, SchedulingPolicy};
 
@@ -163,6 +164,7 @@ pub struct MemoryController {
     queue: RequestQueue,
     hook: Box<dyn DefenseHook>,
     stats: ControllerStats,
+    metrics: CtrlMetrics,
     /// Physical byte ranges untrusted processes cannot touch (the OS's
     /// virtual-memory isolation of victim-owned pages).
     os_protected: Vec<(u64, u64)>,
@@ -195,6 +197,7 @@ impl MemoryController {
             queue: RequestQueue::new(config.policy),
             hook,
             stats: ControllerStats::default(),
+            metrics: CtrlMetrics::new(),
             os_protected: Vec::new(),
         }
     }
@@ -256,6 +259,19 @@ impl MemoryController {
         &self.stats
     }
 
+    /// The local metrics this controller has recorded.
+    pub fn metrics(&self) -> &CtrlMetrics {
+        &self.metrics
+    }
+
+    /// Folds everything recorded since the last export into `registry`
+    /// under `<prefix>.*` (see [`CtrlMetrics::export_into`]). Delta
+    /// export: repeated calls never double-count, and controllers of
+    /// different shards exporting to one prefix aggregate.
+    pub fn export_obs(&mut self, registry: &dlk_obs::Registry, prefix: &str) {
+        self.metrics.export_into(registry, prefix);
+    }
+
     /// Number of queued requests.
     pub fn pending(&self) -> usize {
         self.queue.len()
@@ -311,6 +327,7 @@ impl MemoryController {
     /// device access.
     fn complete_os_fault(&mut self, request: MemRequest) -> CompletedRequest {
         self.stats.os_faults += 1;
+        self.metrics.os_faults += 1;
         CompletedRequest { request, denied: true, latency: 0, data: None }
     }
 
@@ -376,11 +393,14 @@ impl MemoryController {
             HookAction::Deny => {
                 self.stats.denied += 1;
                 self.stats.total_latency += latency;
+                self.metrics.denied += 1;
+                self.metrics.record_latency(request.kind, latency);
                 self.dram.advance(latency);
                 return Ok(CompletedRequest { request, denied: true, latency, data: None });
             }
             HookAction::Redirect(new_row) => {
                 self.stats.redirected += 1;
+                self.metrics.redirected += 1;
                 (new_row, col)
             }
         };
@@ -401,6 +421,8 @@ impl MemoryController {
         self.stats.writes += kind.writes;
         self.stats.served += 1;
         self.stats.total_latency += latency;
+        self.metrics.served += 1;
+        self.metrics.record_latency(request.kind, latency);
         Ok(CompletedRequest { request, denied: false, latency, data })
     }
 
@@ -605,6 +627,29 @@ mod tests {
         assert!(matches!(ctrl.service_batch(&batch), Err(MemCtrlError::SpansRowBoundary { .. })));
         assert_eq!(ctrl.stats().served, 0);
         assert_eq!(ctrl.dram().stats().total_activations(), 0);
+    }
+
+    #[test]
+    fn metrics_record_serves_denies_and_faults() {
+        let registry = dlk_obs::Registry::new();
+        let mut ctrl =
+            MemoryController::with_hook(MemCtrlConfig::tiny_for_tests(), Box::new(DenyAll));
+        ctrl.os_protect_range(0, 64);
+        ctrl.service(MemRequest::read(0, 1)).unwrap(); // denied by hook
+        ctrl.service(MemRequest::read(0, 1).untrusted()).unwrap(); // OS fault
+        ctrl.set_hook(Box::new(NoDefense));
+        ctrl.service(MemRequest::write(128, vec![1])).unwrap(); // served
+        ctrl.export_obs(&registry, "memctrl");
+        assert_eq!(registry.counter("memctrl.denied").get(), 1);
+        assert_eq!(registry.counter("memctrl.os_faults").get(), 1);
+        assert_eq!(registry.counter("memctrl.served").get(), 1);
+        let reads = registry.histogram("memctrl.latency_cycles.read");
+        let writes = registry.histogram("memctrl.latency_cycles.write");
+        // The OS fault never reaches the latency histograms.
+        assert_eq!(reads.count(), 1);
+        assert_eq!(writes.count(), 1);
+        assert_eq!(reads.max(), 3); // DenyAll's check latency
+        assert!(writes.max() > 0);
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //!   address;
 //! - [`mapping`]: physical-address-to-DRAM-coordinate mapping schemes;
 //! - [`scheduler`]: FCFS and FR-FCFS request scheduling;
+//! - [`metrics`]: per-kind latency histograms and outcome counters
+//!   ([`CtrlMetrics`]) recorded on the servicing path and exposable
+//!   through a shared `dlk-obs` registry;
 //! - [`pagetable`]: a DRAM-resident page table — PTEs live in DRAM rows,
 //!   so RowHammer flips in those rows corrupt virtual-to-physical
 //!   translation (the Page Table Attack surface);
@@ -34,6 +37,7 @@ pub mod controller;
 pub mod error;
 pub mod interpose;
 pub mod mapping;
+pub mod metrics;
 pub mod pagetable;
 pub mod request;
 pub mod scheduler;
@@ -43,6 +47,7 @@ pub use crate::controller::{CompletedRequest, ControllerStats, MemCtrlConfig, Me
 pub use crate::error::MemCtrlError;
 pub use crate::interpose::{DefenseHook, HookAction, NoDefense};
 pub use crate::mapping::{AddressMapper, MappingScheme};
+pub use crate::metrics::CtrlMetrics;
 pub use crate::pagetable::{PageTable, PageTableConfig, Pte, VirtAddr};
 pub use crate::request::{MemRequest, RequestKind};
 pub use crate::scheduler::{RequestQueue, SchedulingPolicy};

@@ -27,6 +27,18 @@ impl RequestKind {
             RequestKind::Write => 1,
         }
     }
+
+    /// Lower-case label used in metric names, in [`RequestKind::index`]
+    /// order.
+    pub fn token(self) -> &'static str {
+        match self {
+            RequestKind::Read => "read",
+            RequestKind::Write => "write",
+        }
+    }
+
+    /// All kinds, in [`RequestKind::index`] order.
+    pub const ALL: [RequestKind; RequestKind::COUNT] = [RequestKind::Read, RequestKind::Write];
 }
 
 /// A memory request addressed by physical byte address.

@@ -1,0 +1,369 @@
+//! Lock-free log2-bucketed histogram.
+//!
+//! Values land in bucket `bit_length(v)` — bucket 0 holds exactly `0`,
+//! bucket `i` holds `[2^(i-1), 2^i - 1]` — so the whole `u64` range
+//! fits in 65 relaxed atomics and `record` is a couple of `lock xadd`s
+//! with no allocation and no lock, cheap enough for the memory
+//! controller's per-request path. Percentile queries return the upper
+//! bound of the bucket containing the requested rank: an estimate
+//! that never under-reports and is exact to within one power of two.
+//!
+//! [`Histogram::merge`] adds another histogram's buckets into this
+//! one. That is the online-aggregation primitive the fleet-simulation
+//! roadmap item needs: shard- or host-local histograms can be merged
+//! into a global one at any time without coordination, and percentiles
+//! of the merged histogram are as accurate as if every sample had been
+//! recorded centrally.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of log2 buckets: one for zero plus one per `u64` bit length.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-shape concurrent histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    // No separate count: it is the sum of the buckets, so `record`
+    // pays one RMW fewer on the hot path.
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a sample: 0 for 0, else its bit length.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket (what percentile queries report).
+#[inline]
+fn bucket_upper(bucket: usize) -> u64 {
+    match bucket {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free: two relaxed RMWs, plus a
+    /// `fetch_max` only when the sample advances the max (a plain
+    /// load otherwise, which is the steady state).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        if self.max.load(Ordering::Relaxed) < value {
+            self.max.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Starts a [`Span`] that records its elapsed wall nanoseconds
+    /// into this histogram on drop.
+    #[inline]
+    pub fn span(&self) -> Span<'_> {
+        Span { hist: self, start: Instant::now() }
+    }
+
+    /// Folds `other`'s samples into `self` (online aggregation). Both
+    /// histograms may be concurrently written during the merge; the
+    /// result is a point-in-time snapshot-add per bucket.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples (the sum of the bucket counts).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`q` in `[0, 1]`); 0 when empty. The true quantile is in
+    /// `(estimate/2, estimate]` — never above it.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (bucket, n) in counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Both bounds are >= the true quantile, so their min
+                // is a (tighter) valid estimate.
+                return bucket_upper(bucket).min(self.max());
+            }
+        }
+        bucket_upper(BUCKETS - 1)
+    }
+
+    /// Folds everything `local` recorded since its last export into
+    /// this histogram, then marks it exported. Delta-based: repeated
+    /// calls never double-count, so single-owner hot paths can record
+    /// into a [`LocalHistogram`] for free and flush here at any
+    /// convenient boundary.
+    pub fn absorb(&self, local: &mut LocalHistogram) {
+        for (at, mine) in self.buckets.iter().enumerate() {
+            let delta = local.buckets[at] - local.exported_buckets[at];
+            if delta != 0 {
+                mine.fetch_add(delta, Ordering::Relaxed);
+                local.exported_buckets[at] = local.buckets[at];
+            }
+        }
+        let sum_delta = local.sum.wrapping_sub(local.exported_sum);
+        if sum_delta != 0 {
+            self.sum.fetch_add(sum_delta, Ordering::Relaxed);
+            local.exported_sum = local.sum;
+        }
+        self.max.fetch_max(local.max, Ordering::Relaxed);
+    }
+
+    /// Point-in-time summary used by the registry exposition.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+        }
+    }
+}
+
+/// A single-owner, non-atomic histogram for `&mut self` hot paths.
+///
+/// Recording is a plain array increment — no lock-prefixed RMW at all,
+/// which matters on paths servicing millions of requests per second.
+/// [`Histogram::absorb`] folds the samples recorded since the last
+/// export into a shared atomic histogram; together they are the local
+/// half of the online-merge aggregation story.
+#[derive(Debug, Clone)]
+pub struct LocalHistogram {
+    buckets: [u64; BUCKETS],
+    sum: u64,
+    max: u64,
+    exported_buckets: [u64; BUCKETS],
+    exported_sum: u64,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalHistogram {
+    /// A fresh, empty local histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            sum: 0,
+            max: 0,
+            exported_buckets: [0; BUCKETS],
+            exported_sum: 0,
+        }
+    }
+
+    /// Records one sample: two plain adds and a compare.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.sum = self.sum.wrapping_add(value);
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum of recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+}
+
+/// Frozen summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Recorded sample count.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Median estimate (log2-bucket upper bound).
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+/// A cheap RAII wall-clock timer: created by [`Histogram::span`],
+/// records elapsed nanoseconds into the histogram when dropped.
+#[derive(Debug)]
+pub struct Span<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+}
+
+impl Span<'_> {
+    /// Stops the timer early and records; equivalent to dropping.
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.hist.record(nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for bucket in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_upper(bucket)), bucket);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p50, 0);
+        assert_eq!(snap.max, 0);
+        assert_eq!(snap.mean, 0.0);
+    }
+
+    #[test]
+    fn single_sample_percentiles_hit_its_bucket() {
+        let h = Histogram::new();
+        h.record(100);
+        // 100 has bit length 7 -> bucket upper bound 127, capped by max? No cap below upper.
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 100);
+        let p50 = h.percentile(0.5);
+        assert!((100..=127).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.percentile(1.0), p50);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_keeps_max() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1u64, 2, 3] {
+            a.record(v);
+        }
+        for v in [1000u64, 2000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), 1 + 2 + 3 + 1000 + 2000);
+        assert_eq!(a.max(), 2000);
+        assert!(a.percentile(0.99) >= 2000);
+    }
+
+    #[test]
+    fn absorb_exports_deltas_exactly_once() {
+        let shared = Histogram::new();
+        let mut local = LocalHistogram::new();
+        local.record(5);
+        local.record(900);
+        shared.absorb(&mut local);
+        assert_eq!(shared.count(), 2);
+        assert_eq!(shared.sum(), 905);
+        assert_eq!(shared.max(), 900);
+
+        // Re-absorbing with nothing new recorded must not double-count.
+        shared.absorb(&mut local);
+        assert_eq!(shared.count(), 2);
+        assert_eq!(shared.sum(), 905);
+
+        // Only the increment since the last export lands.
+        local.record(7);
+        shared.absorb(&mut local);
+        assert_eq!(shared.count(), 3);
+        assert_eq!(shared.sum(), 912);
+        assert_eq!(shared.max(), 900);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Histogram::new();
+        {
+            let _span = h.span();
+        }
+        h.span().finish();
+        assert_eq!(h.count(), 2);
+    }
+}

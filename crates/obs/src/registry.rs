@@ -1,0 +1,258 @@
+//! Named metric registry with text and JSON exposition.
+//!
+//! A [`Registry`] is a cheap clonable handle (an `Arc` around a
+//! `BTreeMap`) mapping dotted names to metrics. Producers call
+//! [`Registry::counter`] / [`Registry::gauge`] / [`Registry::histogram`]
+//! once at wiring time and keep the returned `Arc` — the map lock is
+//! touched only at registration and exposition, never on the record
+//! path. Names are get-or-create: two subsystems asking for the same
+//! name share one metric, which is how per-shard controllers aggregate
+//! into a single fleet-wide view.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::hist::Histogram;
+use crate::json::{self, Document};
+use crate::metric::{Counter, Gauge};
+
+/// A registered metric of any kind.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Monotonic event count.
+    Counter(Arc<Counter>),
+    /// Signed instantaneous level.
+    Gauge(Arc<Gauge>),
+    /// Log2-bucketed distribution.
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A shared, named metric table.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the counter registered under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind —
+    /// that is a wiring bug, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.inner.lock().expect("obs registry poisoned");
+        let entry = map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
+        match entry {
+            Metric::Counter(counter) => Arc::clone(counter),
+            other => panic!("obs: {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Gets or creates the gauge registered under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.inner.lock().expect("obs registry poisoned");
+        let entry =
+            map.entry(name.to_string()).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
+        match entry {
+            Metric::Gauge(gauge) => Arc::clone(gauge),
+            other => panic!("obs: {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Gets or creates the histogram registered under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.inner.lock().expect("obs registry poisoned");
+        let entry = map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())));
+        match entry {
+            Metric::Histogram(hist) => Arc::clone(hist),
+            other => panic!("obs: {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("obs registry poisoned").len()
+    }
+
+    /// True when nothing is registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a registered metric by exact name.
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.inner.lock().expect("obs registry poisoned").get(name).cloned()
+    }
+
+    /// Plain-text exposition: one `name value` line per metric in
+    /// name order; histograms expand to `count/sum/max/p50/p95/p99`
+    /// sub-lines. Stable format, pinned by golden tests.
+    pub fn to_text(&self) -> String {
+        let map = self.inner.lock().expect("obs registry poisoned");
+        let mut out = String::new();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{name} {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{name} {}\n", g.get())),
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    out.push_str(&format!("{name}.count {}\n", snap.count));
+                    out.push_str(&format!("{name}.sum {}\n", snap.sum));
+                    out.push_str(&format!("{name}.max {}\n", snap.max));
+                    out.push_str(&format!("{name}.p50 {}\n", snap.p50));
+                    out.push_str(&format!("{name}.p95 {}\n", snap.p95));
+                    out.push_str(&format!("{name}.p99 {}\n", snap.p99));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the registry as a schema-v2 `"metrics"` document named
+    /// `name`, with `counters` / `gauges` / `histograms` sections.
+    pub fn to_document(&self, name: &str) -> Document {
+        let map = self.inner.lock().expect("obs registry poisoned");
+        let mut doc = Document::new("metrics", name);
+        doc.section("counters");
+        doc.section("gauges");
+        doc.section("histograms");
+        for (metric_name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    doc.push_object(
+                        "counters",
+                        &[("name", json::escape(metric_name)), ("value", c.get().to_string())],
+                    );
+                }
+                Metric::Gauge(g) => {
+                    doc.push_object(
+                        "gauges",
+                        &[("name", json::escape(metric_name)), ("value", g.get().to_string())],
+                    );
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    doc.push_object(
+                        "histograms",
+                        &[
+                            ("name", json::escape(metric_name)),
+                            ("count", snap.count.to_string()),
+                            ("sum", snap.sum.to_string()),
+                            ("max", snap.max.to_string()),
+                            ("mean", json::number(snap.mean)),
+                            ("p50", snap.p50.to_string()),
+                            ("p95", snap.p95.to_string()),
+                            ("p99", snap.p99.to_string()),
+                        ],
+                    );
+                }
+            }
+        }
+        doc
+    }
+
+    /// JSON exposition (see [`Registry::to_document`]).
+    pub fn to_json(&self, name: &str) -> String {
+        self.to_document(name).to_json()
+    }
+
+    /// Validates and atomically writes the JSON exposition to `path`
+    /// (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error from the write or rename.
+    pub fn write_json(&self, name: &str, path: impl AsRef<Path>) -> io::Result<()> {
+        self.to_document(name).write(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_shares_handles() {
+        let reg = Registry::new();
+        let a = reg.counter("x.events");
+        let b = reg.counter("x.events");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x.events").get(), 3);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("dup");
+        reg.gauge("dup");
+    }
+
+    #[test]
+    fn text_exposition_is_sorted_and_complete() {
+        let reg = Registry::new();
+        reg.counter("b.count").add(2);
+        reg.gauge("a.depth").set(-3);
+        reg.histogram("c.wall").record(7);
+        let text = reg.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "a.depth -3");
+        assert_eq!(lines[1], "b.count 2");
+        assert!(lines[2].starts_with("c.wall.count 1"));
+        assert!(text.contains("c.wall.p99 7\n"));
+    }
+
+    #[test]
+    fn json_exposition_validates_and_carries_sections() {
+        let reg = Registry::new();
+        reg.counter("served").add(10);
+        reg.histogram("latency").record(42);
+        let json = reg.to_json("unit");
+        json::validate(&json).unwrap_or_else(|err| panic!("{err}\n{json}"));
+        assert!(json.contains("\"kind\": \"metrics\""));
+        assert!(json.contains("\"counters\": ["));
+        assert!(json.contains("\"gauges\": []"));
+        assert!(json.contains("\"histograms\": ["));
+        assert!(json.contains("\"served\""));
+    }
+
+    #[test]
+    fn clones_share_the_same_table() {
+        let reg = Registry::new();
+        let clone = reg.clone();
+        clone.counter("shared").inc();
+        assert_eq!(reg.counter("shared").get(), 1);
+    }
+}

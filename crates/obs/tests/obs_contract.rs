@@ -1,0 +1,129 @@
+//! Satellite contract tests for `dlk-obs`: the histogram's percentile
+//! guarantee against a sorted-vec oracle (property-based), counter
+//! linearity under real thread contention, and golden-file-pinned
+//! text/JSON exposition so the formats can't drift silently.
+
+use std::sync::Arc;
+
+use dlk_obs::json::BuildInfo;
+use dlk_obs::{Histogram, Registry};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// The exact quantile the histogram estimates: the `rank`-th smallest
+/// sample with `rank = ceil(q * n)` clamped to `[1, n]`.
+fn oracle(sorted: &[u64], q: f64) -> u64 {
+    let total = sorted.len() as u64;
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    /// The estimate never under-reports the true quantile, never
+    /// exceeds the observed max, and is tight to one power of two.
+    #[test]
+    fn percentiles_bound_the_sorted_vec_oracle(
+        small in collection::vec(0u64..1024, 1..40),
+        large in collection::vec(any::<u64>(), 0..8),
+        q in 0.0f64..=1.0,
+    ) {
+        let hist = Histogram::new();
+        let mut samples = small.clone();
+        samples.extend_from_slice(&large);
+        for &v in &samples {
+            hist.record(v);
+        }
+        samples.sort_unstable();
+
+        let truth = oracle(&samples, q);
+        let est = hist.percentile(q);
+        prop_assert!(est >= truth, "estimate {} under-reports true quantile {}", est, truth);
+        prop_assert!(est <= hist.max(), "estimate {} above max {}", est, hist.max());
+        if truth == 0 {
+            prop_assert_eq!(est, 0);
+        } else {
+            // The documented error bound: truth is in (est/2, est].
+            prop_assert!(est / 2 < truth, "estimate {} looser than 2x truth {}", est, truth);
+        }
+    }
+
+    /// Shard-local histograms merged into one report exactly what a
+    /// single central histogram would have — the online-aggregation
+    /// contract the fleet roadmap item leans on.
+    #[test]
+    fn merge_is_indistinguishable_from_central_recording(
+        a in collection::vec(any::<u64>(), 0..20),
+        b in collection::vec(0u64..100_000, 1..20),
+    ) {
+        let left = Histogram::new();
+        let right = Histogram::new();
+        let central = Histogram::new();
+        for &v in &a {
+            left.record(v);
+            central.record(v);
+        }
+        for &v in &b {
+            right.record(v);
+            central.record(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.snapshot(), central.snapshot());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(left.percentile(q), central.percentile(q));
+        }
+    }
+}
+
+#[test]
+fn concurrent_increments_from_scoped_threads_all_land() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+
+    let registry = Registry::new();
+    let counter = registry.counter("contention.events");
+    let hist = registry.histogram("contention.values");
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let counter = Arc::clone(&counter);
+            let hist = Arc::clone(&hist);
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    hist.record(i);
+                }
+            });
+        }
+    });
+
+    assert_eq!(counter.get(), THREADS * PER_THREAD, "no increment may be lost");
+    assert_eq!(hist.count(), THREADS * PER_THREAD);
+    assert_eq!(hist.max(), PER_THREAD - 1);
+    // Re-resolving the name sees the same metric, not a fresh zero.
+    assert_eq!(registry.counter("contention.events").get(), THREADS * PER_THREAD);
+}
+
+/// Builds the registry both golden files pin.
+fn golden_registry() -> Registry {
+    let registry = Registry::new();
+    registry.counter("serve.executed").add(4);
+    registry.gauge("sweep.queue_depth").set(-2);
+    let hist = registry.histogram("memctrl.latency");
+    for v in [1u64, 3, 8] {
+        hist.record(v);
+    }
+    registry
+}
+
+#[test]
+fn text_exposition_matches_the_golden_file() {
+    assert_eq!(golden_registry().to_text(), include_str!("golden/registry.txt"));
+}
+
+#[test]
+fn json_exposition_matches_the_golden_file() {
+    let mut doc = golden_registry().to_document("golden");
+    doc.set_build(BuildInfo::pinned());
+    let json = doc.to_json();
+    dlk_obs::json::validate(&json).expect("golden render must parse");
+    assert_eq!(json, include_str!("golden/registry.json"));
+}

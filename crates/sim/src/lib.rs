@@ -104,3 +104,7 @@ pub use crate::victim::{DeployedVictim, VictimSpec};
 
 pub use dlk_dnn::models::ModelKind;
 pub use dlk_engine::{ChannelRouter, EngineConfig, ShardedEngine, Workload};
+/// The observability layer, re-exported so front-ends (the `dlk` CLI,
+/// the serve daemon) can build registries and span recorders without a
+/// direct `dlk-obs` dependency.
+pub use dlk_obs as obs;

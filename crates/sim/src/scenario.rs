@@ -53,7 +53,9 @@
 
 use dlk_dnn::{QuantizedMlp, WeightLayout};
 use dlk_engine::{ChannelRouter, EngineConfig, ShardedEngine};
+use dlk_locker::DramLocker;
 use dlk_memctrl::{AddressMapper, MemCtrlConfig, MemoryController};
+use dlk_obs::{Registry, SpanRecorder, SpanTree};
 
 use crate::attack::{
     Attack, BfaHammerAttack, HammerAttack, InferenceStream, PageTablePoison, ProgressiveBfa,
@@ -360,6 +362,7 @@ impl ScenarioBuilder {
             budget: spec.budget,
             eval_batch: spec.eval_batch,
             target: spec.target,
+            obs: None,
         })
     }
 }
@@ -453,6 +456,8 @@ pub struct ScenarioRun {
     budget: Budget,
     eval_batch: usize,
     target: usize,
+    /// Metrics registry the run reports into, if observed.
+    obs: Option<Registry>,
 }
 
 impl std::fmt::Debug for ScenarioRun {
@@ -541,12 +546,56 @@ impl ScenarioRun {
     ///
     /// Propagates attack and measurement failures.
     pub fn run(&mut self) -> Result<RunReport, SimError> {
+        self.run_inner(None)
+    }
+
+    /// Connects the run to a metrics registry: the engine's per-channel
+    /// drain/merge timings, the controllers' per-kind service latencies
+    /// and denial/fault counters, and (at the end of each run) any
+    /// mounted DRAM-Locker's lock-table lookup/hit counters all report
+    /// into `registry`. Idempotent per run: counter exports are deltas.
+    pub fn observe(&mut self, registry: &Registry) {
+        self.engine.observe(registry);
+        self.obs = Some(registry.clone());
+    }
+
+    /// Like [`ScenarioRun::run`], but records the phase spans of the
+    /// pipeline (baseline accuracy, attack, measurement, mitigation
+    /// stats) into `recorder`. The attack span is annotated with the
+    /// engine's cycle count for the attack phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attack and measurement failures.
+    pub fn run_with_spans(&mut self, recorder: &mut SpanRecorder) -> Result<RunReport, SimError> {
+        self.run_inner(Some(recorder))
+    }
+
+    /// Runs the scenario under a fresh span recorder and returns the
+    /// report together with the finished span tree (rooted at the
+    /// scenario label).
+    ///
+    /// # Errors
+    ///
+    /// Propagates attack and measurement failures.
+    pub fn run_traced(&mut self) -> Result<(RunReport, SpanTree), SimError> {
+        let mut recorder = SpanRecorder::new(format!("scenario '{}'", self.label));
+        let report = self.run_inner(Some(&mut recorder))?;
+        Ok((report, recorder.finish()))
+    }
+
+    fn run_inner(&mut self, mut spans: Option<&mut SpanRecorder>) -> Result<RunReport, SimError> {
+        let span_baseline = spans.as_deref_mut().map(|rec| rec.enter("baseline-accuracy"));
         let accuracy_before: Vec<Option<f64>> = self
             .victims
             .iter()
             .map(|v| v.victim().and_then(|vic| v.accuracy_pct(&vic.model, self.eval_batch)))
             .collect();
+        if let (Some(rec), Some(id)) = (spans.as_deref_mut(), span_baseline) {
+            rec.exit(id);
+        }
 
+        let span_attack = spans.as_deref_mut().map(|rec| rec.enter("attack"));
         let (outcome, attack_name) = match self.attack.take() {
             Some(mut attack) => {
                 let mut env = RunEnv {
@@ -570,7 +619,12 @@ impl ScenarioRun {
         // order, so it is identical whether the shards just ran on
         // threads or serially.
         let snapshot = self.engine.snapshot();
+        if let (Some(rec), Some(id)) = (spans.as_deref_mut(), span_attack) {
+            rec.cycles(id, snapshot.cycles);
+            rec.exit(id);
+        }
 
+        let span_measure = spans.as_deref_mut().map(|rec| rec.enter("measure"));
         let mut victim_reports = Vec::with_capacity(self.victims.len());
         for (index, victim) in self.victims.iter().enumerate() {
             let ctrl = self.engine.shard_mut(self.homes[index]).controller_mut();
@@ -584,7 +638,11 @@ impl ScenarioRun {
                 data_intact,
             });
         }
+        if let (Some(rec), Some(id)) = (spans.as_deref_mut(), span_measure) {
+            rec.exit(id);
+        }
 
+        let span_stats = spans.as_deref_mut().map(|rec| rec.enter("mitigation-stats"));
         // Per-defense action counts, summed over channels in channel-id
         // order: every shard mounted the same stack, so defense `i` is
         // hook `i` of every shard's chain.
@@ -608,6 +666,17 @@ impl ScenarioRun {
                 MitigationReport { name: mitigation.name().to_owned(), actions }
             })
             .collect();
+        if let (Some(rec), Some(id)) = (spans, span_stats) {
+            rec.exit(id);
+        }
+
+        if let Some(registry) = self.obs.clone() {
+            // Hammer attacks drive controllers per-request and never
+            // pass through `run_to_completion`, so flush the shards'
+            // locally recorded controller metrics here too.
+            self.engine.export_obs();
+            self.export_defense_obs(&registry);
+        }
 
         Ok(RunReport {
             scenario: self.label.clone(),
@@ -627,6 +696,33 @@ impl ScenarioRun {
             victims: victim_reports,
             mitigations,
         })
+    }
+
+    /// Pushes the defense-side interior counters (currently the
+    /// DRAM-Locker lock-table lookups/hits, summed over channels) into
+    /// the observed registry as `locker.locktable.*` deltas.
+    fn export_defense_obs(&self, registry: &Registry) {
+        for shard in self.engine.shards() {
+            let hook = shard.controller().hook();
+            match hook.as_any().and_then(|any| any.downcast_ref::<HookChain>()) {
+                Some(chain) => {
+                    for hook in chain.hooks() {
+                        if let Some(locker) =
+                            hook.as_any().and_then(|any| any.downcast_ref::<DramLocker>())
+                        {
+                            locker.export_obs(registry, "locker");
+                        }
+                    }
+                }
+                None => {
+                    if let Some(locker) =
+                        hook.as_any().and_then(|any| any.downcast_ref::<DramLocker>())
+                    {
+                        locker.export_obs(registry, "locker");
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -750,6 +846,58 @@ mod tests {
         assert!(matches!(builder.spec(), Err(SimError::Build(_))));
         // It still builds and runs — just not as data.
         builder.build().unwrap().run().unwrap();
+    }
+
+    #[test]
+    fn observed_run_exports_engine_and_locker_metrics() {
+        let registry = Registry::new();
+        let mut run = Scenario::builder()
+            .label("observed")
+            .victim(VictimSpec::row(20, 0xA5))
+            .attack(HammerAttack::bit(77))
+            .defense(LockerMitigation::adjacent())
+            .budget(hammer_budget())
+            .build()
+            .unwrap();
+        run.observe(&registry);
+        let report = run.run().unwrap();
+        assert!(report.fully_denied());
+        // Controller-side counters flowed through the shared handles.
+        assert!(registry.counter("memctrl.denied").get() > 0);
+        assert!(registry.counter("memctrl.served").get() > 0);
+        assert!(registry.histogram("memctrl.latency_cycles.read").count() > 0);
+        // The engine's drain metrics registered (a hammer campaign
+        // drives the controllers per-request, so the count stays 0 —
+        // workload drains through `run_to_completion` would bump it).
+        assert!(registry.get("engine.drains").is_some());
+        // The locker's interior lock-table counters were exported.
+        assert!(registry.counter("locker.locktable.lookups").get() > 0);
+        assert!(registry.counter("locker.locktable.hits").get() > 0);
+        // Running again adds deltas, it does not double-count backwards.
+        let lookups_after_one = registry.counter("locker.locktable.lookups").get();
+        run.run().unwrap();
+        assert!(registry.counter("locker.locktable.lookups").get() > lookups_after_one);
+    }
+
+    #[test]
+    fn run_traced_records_phase_spans() {
+        let mut run = Scenario::builder()
+            .label("traced")
+            .victim(VictimSpec::row(20, 0xA5))
+            .attack(HammerAttack::bit(3))
+            .budget(hammer_budget())
+            .build()
+            .unwrap();
+        let (report, tree) = run.run_traced().unwrap();
+        assert!(report.cycles > 0);
+        // Root + the four pipeline phases.
+        assert_eq!(tree.len(), 5);
+        let rendered = tree.to_string();
+        assert!(rendered.contains("scenario 'traced'"), "{rendered}");
+        for phase in ["baseline-accuracy", "attack", "measure", "mitigation-stats"] {
+            assert!(rendered.contains(phase), "missing {phase} in:\n{rendered}");
+        }
+        assert!(rendered.contains("cycles"), "{rendered}");
     }
 
     #[test]

@@ -44,6 +44,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dlk_dnn::models::ModelKind;
+use dlk_obs::{Counter, Gauge, Histogram, Registry};
 
 use crate::error::SimError;
 use crate::report::RunReport;
@@ -341,6 +342,7 @@ pub struct SweepRunner {
     threads: usize,
     timeout: Option<Duration>,
     progress: Option<Arc<ProgressFn>>,
+    obs: Option<Registry>,
 }
 
 impl std::fmt::Debug for SweepRunner {
@@ -349,8 +351,40 @@ impl std::fmt::Debug for SweepRunner {
             .field("threads", &self.threads)
             .field("timeout", &self.timeout)
             .field("progress", &self.progress.as_ref().map(|_| "Fn"))
+            .field("observed", &self.obs.is_some())
             .finish()
     }
+}
+
+/// Registry-backed handles for the queue's scheduling metrics, resolved
+/// once per run so the worker loop never touches the registry lock.
+#[derive(Clone)]
+struct SweepMetrics {
+    jobs: Arc<Counter>,
+    steals: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    job_wall_us: Arc<Histogram>,
+    worker_busy_ns: Arc<Counter>,
+    worker_idle_ns: Arc<Counter>,
+}
+
+impl SweepMetrics {
+    fn registered(registry: &Registry) -> Self {
+        Self {
+            jobs: registry.counter("sweep.jobs"),
+            steals: registry.counter("sweep.steals"),
+            queue_depth: registry.gauge("sweep.queue_depth"),
+            job_wall_us: registry.histogram("sweep.job_wall_us"),
+            worker_busy_ns: registry.counter("sweep.worker_busy_ns"),
+            worker_idle_ns: registry.counter("sweep.worker_idle_ns"),
+        }
+    }
+}
+
+/// Saturating nanoseconds since `since` (a sweep would have to idle for
+/// ~585 years to overflow, but the cast should still be total).
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 impl SweepRunner {
@@ -367,7 +401,7 @@ impl SweepRunner {
 
     /// Runs specs across exactly `threads` workers (at least one).
     pub fn with_threads(threads: usize) -> Self {
-        Self { threads: threads.max(1), timeout: None, progress: None }
+        Self { threads: threads.max(1), timeout: None, progress: None, obs: None }
     }
 
     /// The worker count.
@@ -400,13 +434,32 @@ impl SweepRunner {
         self
     }
 
+    /// Connects the runner to a metrics registry. The queue reports
+    /// `sweep.jobs`, `sweep.steals`, `sweep.queue_depth` (a gauge,
+    /// back to zero once drained), a `sweep.job_wall_us` histogram and
+    /// `sweep.worker_busy_ns`/`sweep.worker_idle_ns` counters; scenario
+    /// sweeps additionally observe every run (see
+    /// [`ScenarioRun::observe`](crate::ScenarioRun::observe)), so the
+    /// engine/controller/locker metrics aggregate across the grid.
+    pub fn observe(mut self, registry: &Registry) -> Self {
+        self.obs = Some(registry.clone());
+        self
+    }
+
     /// Executes every spec on the queue and returns one [`JobOutcome`]
     /// per spec, in spec order.
     pub fn run_jobs(&self, specs: &[ScenarioSpec]) -> Vec<JobOutcome> {
         let specs: Arc<Vec<ScenarioSpec>> = Arc::new(specs.to_vec());
         let labels: Vec<String> = specs.iter().map(|spec| spec.label.clone()).collect();
-        let job =
-            move |index: usize| Scenario::from_spec(&specs[index]).and_then(|mut run| run.run());
+        let obs = self.obs.clone();
+        let job = move |index: usize| {
+            Scenario::from_spec(&specs[index]).and_then(|mut run| {
+                if let Some(registry) = &obs {
+                    run.observe(registry);
+                }
+                run.run()
+            })
+        };
         self.run_inner(labels, job)
     }
 
@@ -434,17 +487,38 @@ impl SweepRunner {
         let job: Arc<dyn Fn(usize) -> Result<RunReport, SimError> + Send + Sync> = Arc::new(job);
         let workers = self.threads.min(count);
         let queue = StealQueue::deal(workers, count);
+        let metrics = self.obs.as_ref().map(SweepMetrics::registered);
+        if let Some(metrics) = &metrics {
+            metrics.queue_depth.set(i64::try_from(count).unwrap_or(i64::MAX));
+        }
         let mut slots: Vec<Option<JobOutcome>> = Vec::new();
         slots.resize_with(count, || None);
         let slots = Mutex::new(slots);
         let worker_loop = |worker: usize| {
+            let mut mark = Instant::now();
             while let Some((index, stolen)) = queue.pop(worker) {
+                if let Some(metrics) = &metrics {
+                    metrics.worker_idle_ns.add(elapsed_ns(mark));
+                    metrics.queue_depth.add(-1);
+                    mark = Instant::now();
+                }
                 let outcome = self.execute_one(index, labels[index].clone(), worker, stolen, &job);
                 let keep_going = self.progress.as_ref().is_none_or(|progress| progress(&outcome));
+                if let Some(metrics) = &metrics {
+                    metrics.jobs.inc();
+                    metrics
+                        .job_wall_us
+                        .record(u64::try_from(outcome.wall.as_micros()).unwrap_or(u64::MAX));
+                    metrics.worker_busy_ns.add(elapsed_ns(mark));
+                    mark = Instant::now();
+                }
                 slots.lock().expect("sweep slots")[index] = Some(outcome);
                 if !keep_going {
                     queue.cancel();
                 }
+            }
+            if let Some(metrics) = &metrics {
+                metrics.worker_idle_ns.add(elapsed_ns(mark));
             }
         };
         if workers == 1 {
@@ -456,6 +530,12 @@ impl SweepRunner {
                     scope.spawn(move || worker_loop(worker));
                 }
             });
+        }
+        if let Some(metrics) = &metrics {
+            metrics.steals.add(queue.steals.load(Ordering::Relaxed));
+            // Cancelled jobs are never popped; the queue is drained
+            // regardless once the workers return.
+            metrics.queue_depth.set(0);
         }
         slots
             .into_inner()
@@ -681,6 +761,38 @@ mod tests {
             "an idle worker should have stolen from the sleeper's deque"
         );
         assert!(outcomes.iter().all(|o| o.worker.is_some()));
+    }
+
+    #[test]
+    fn observed_runner_populates_queue_metrics() {
+        let registry = Registry::new();
+        let outcomes = {
+            let registry = registry.clone();
+            SweepRunner::with_threads(2).observe(&registry).run_fn(8, |index| {
+                if index == 0 {
+                    std::thread::sleep(Duration::from_millis(60));
+                }
+                failing_job(index)
+            })
+        };
+        assert_eq!(outcomes.len(), 8);
+        assert_eq!(registry.counter("sweep.jobs").get(), 8);
+        assert_eq!(registry.histogram("sweep.job_wall_us").count(), 8);
+        assert!(registry.counter("sweep.worker_busy_ns").get() > 0);
+        assert_eq!(registry.gauge("sweep.queue_depth").get(), 0);
+        let stolen = outcomes.iter().filter(|o| o.stolen).count() as u64;
+        assert_eq!(registry.counter("sweep.steals").get(), stolen);
+    }
+
+    #[test]
+    fn observed_scenario_sweep_threads_registry_into_runs() {
+        let registry = Registry::new();
+        let results = SweepRunner::serial().observe(&registry).run(&[base()]);
+        assert!(results[0].report.is_ok());
+        // The scenario's engine/controller metrics landed in the same
+        // registry the queue reports into.
+        assert!(registry.counter("memctrl.served").get() > 0);
+        assert_eq!(registry.counter("sweep.jobs").get(), 1);
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   deterministic merge);
 //! - [`sim`] — the unified Scenario API: builder-driven pipelines
 //!   composing victims, attacks and defenses into one run;
-//! - [`xlayer`] — cross-layer evaluation framework and paper experiments.
+//! - [`xlayer`] — cross-layer evaluation framework and paper experiments;
+//! - [`obs`] — zero-dependency observability: counters, log2
+//!   histograms, span traces and the registry every layer reports into.
 //!
 //! ## Quickstart
 //!
@@ -82,5 +84,6 @@ pub use dlk_dram as dram;
 pub use dlk_engine as engine;
 pub use dlk_locker as locker;
 pub use dlk_memctrl as memctrl;
+pub use dlk_obs as obs;
 pub use dlk_sim as sim;
 pub use dlk_xlayer as xlayer;
