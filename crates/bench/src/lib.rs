@@ -10,6 +10,7 @@
 
 use std::sync::Once;
 
+pub mod diff;
 pub mod snapshot;
 
 /// Prints a block of experiment output exactly once per process, so

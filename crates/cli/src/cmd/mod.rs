@@ -1,11 +1,13 @@
-//! The four `dlk` subcommands. Each module exposes
+//! The `dlk` subcommands. Each module exposes
 //! `run(args: Vec<String>) -> Result<(), CliError>` over the argument
 //! vector that followed the command word.
 
+pub mod bench;
 pub mod catalog;
 pub mod run;
 pub mod serve;
 pub mod sweep;
+pub mod top;
 
 use std::path::{Path, MAIN_SEPARATOR};
 

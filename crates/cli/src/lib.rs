@@ -9,6 +9,8 @@
 //! dlk sweep <grid.dlk> [--jobs N] [--out FILE] [--timeout-secs S] [--metrics FILE]
 //! dlk catalog [--filter SUBSTR] [--dump NAME [--to FILE]]
 //! dlk serve --spool DIR --out DIR [--jobs N] [--poll-ms M] [--once]
+//! dlk top --spool DIR [--refresh-ms M] [--once]
+//! dlk bench diff <old.json> <new.json> [--check] [--max-regress PCT]
 //! ```
 //!
 //! `run` executes one spec file (or named catalog entry — an unknown
@@ -22,7 +24,11 @@
 //! skips already-completed work — a kill mid-sweep loses at most the
 //! in-flight jobs (see [`spool`] for the crash-safety contract). Every
 //! scan atomically rewrites a `metrics.json` heartbeat (the shared
-//! observability schema) next to the journal.
+//! observability schema, including rolling time series that survive
+//! restarts) next to the journal. `top` renders that heartbeat as a
+//! live terminal view — sparklines, percentiles, stalled-vs-idle —
+//! and `bench diff` compares any two schema-v2 snapshots, the CI
+//! regression gate over the committed `BENCH_*.json` baselines.
 //!
 //! The binary is a thin shell over this library so the whole surface —
 //! argument parsing, commands, journal, daemon loop — is unit- and
@@ -45,6 +51,8 @@ USAGE:
   dlk catalog [--filter SUBSTR] [--dump NAME [--to FILE]]
   dlk serve --spool DIR --out DIR [--jobs N] [--poll-ms M] [--once]
             [--timeout-secs S] [--abort-after K]
+  dlk top --spool DIR [--refresh-ms M] [--once]
+  dlk bench diff <old.json> <new.json> [--check] [--max-regress PCT]
   dlk help
 
 Spec files use the `# dlk-scenario v1` line codec; a file may hold any
@@ -117,6 +125,8 @@ pub fn run_main(args: Vec<String>) -> i32 {
         "sweep" => cmd::sweep::run(rest),
         "catalog" => cmd::catalog::run(rest),
         "serve" => cmd::serve::run(rest),
+        "top" => cmd::top::run(rest),
+        "bench" => cmd::bench::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -27,9 +27,10 @@ use std::fs::{self, File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime};
 
-use dlk_sim::obs::{Counter, Registry};
+use dlk_sim::obs::series::parse_series_object;
+use dlk_sim::obs::{json, Counter, Gauge, Registry, Sampler};
 use dlk_sim::{JobOutcome, JobStatus, RunReport, ScenarioSpec, SweepRunner};
 
 use crate::CliError;
@@ -43,6 +44,10 @@ pub const RESULTS_FILE: &str = "results.csv";
 /// scan and on shutdown; an aborted pass leaves it stale, exactly like
 /// [`RESULTS_FILE`].
 pub const METRICS_FILE: &str = "metrics.json";
+/// Samples retained per heartbeat time series — at the default 500ms
+/// poll that is a one-minute rolling window, and the whole `series`
+/// section stays a few KB no matter how long the daemon runs.
+pub const SERIES_CAPACITY: usize = 120;
 
 /// A log sink for daemon progress lines (stderr in the binary, a
 /// capturing buffer in tests).
@@ -295,6 +300,12 @@ struct ServeMetrics {
     failed: Arc<Counter>,
     skipped: Arc<Counter>,
     spool_poisoned: Arc<Counter>,
+    /// Monotonic across restarts (resumed from the previous heartbeat),
+    /// unlike `serve.scans` which counts this process's scans — `dlk
+    /// top` uses the pair to tell a stalled daemon from an idle one.
+    scan_seq: Arc<Gauge>,
+    /// Wall micros the previous heartbeat write took.
+    heartbeat_write_us: Arc<Gauge>,
 }
 
 impl ServeMetrics {
@@ -306,16 +317,63 @@ impl ServeMetrics {
             failed: registry.counter("serve.failed"),
             skipped: registry.counter("serve.skipped"),
             spool_poisoned: registry.counter("serve.spool_poisoned"),
+            scan_seq: registry.gauge("serve.scan_seq"),
+            heartbeat_write_us: registry.gauge("serve.heartbeat_write_us"),
             registry,
         }
     }
 
     /// Atomically publishes the heartbeat (validate + temp + rename,
-    /// via the shared JSON writer).
-    fn write(&self, out: &Path) -> Result<(), CliError> {
+    /// via the shared JSON writer): the registry's point-in-time
+    /// sections plus the sampler's rolling `series` section, ticked
+    /// once here so every heartbeat carries a fresh sample. Returns the
+    /// write's wall time (also published as `serve.heartbeat_write_us`
+    /// for the *next* heartbeat).
+    fn write(&self, out: &Path, sampler: &Mutex<Sampler>) -> Result<Duration, CliError> {
         let path = out.join(METRICS_FILE);
-        self.registry.write_json("dlk-serve", &path).map_err(|e| CliError::io(&path, e))
+        let start = Instant::now();
+        let mut doc = self.registry.to_document("dlk-serve");
+        {
+            let mut sampler = sampler.lock().expect("serve sampler poisoned");
+            sampler.tick();
+            sampler.export_into(&mut doc);
+        }
+        doc.write(&path).map_err(|e| CliError::io(&path, e))?;
+        let wall = start.elapsed();
+        self.heartbeat_write_us.set(i64::try_from(wall.as_micros()).unwrap_or(i64::MAX));
+        Ok(wall)
     }
+}
+
+/// Microseconds since the Unix epoch — the sampler's timestamp origin,
+/// so replayed history and fresh ticks share one monotone axis across
+/// restarts (`dlk top` uses the same clock to age heartbeats).
+pub(crate) fn unix_micros() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+}
+
+/// Replays the previous heartbeat into a fresh sampler: every exported
+/// series is seeded back (the ring keeps the newest
+/// [`SERIES_CAPACITY`]), and the previous `serve.scan_seq` is returned
+/// so the sequence stays monotonic across restarts. A missing or
+/// corrupt heartbeat (it is derived state, atomically replaced — a
+/// crash can only leave the *old* one) replays nothing.
+fn replay_heartbeat(path: &Path, sampler: &mut Sampler) -> u64 {
+    let Ok(value) = json::parse_file(path) else { return 0 };
+    for object in value.section("series") {
+        if let Some((name, samples)) = parse_series_object(object) {
+            sampler.seed(&name, samples);
+        }
+    }
+    value
+        .section("gauges")
+        .iter()
+        .find(|g| g.get("name").and_then(json::Value::as_str) == Some("serve.scan_seq"))
+        .and_then(|g| g.get("value"))
+        .and_then(json::Value::as_u64)
+        .unwrap_or(0)
 }
 
 /// Runs the daemon loop. Returns after one scan in `once` mode, when
@@ -342,6 +400,17 @@ pub fn serve(cfg: &ServeConfig, log: Arc<LogFn>) -> Result<ServeSummary, CliErro
     let mut summary =
         ServeSummary { executed: 0, skipped: 0, failed: 0, scans: 0, poisoned: 0, aborted: false };
     let metrics = ServeMetrics::new();
+    // The rolling time series survive restarts the same way results do:
+    // the previous heartbeat (derived, atomically replaced) is replayed
+    // as seed history, and the scan sequence number picks up where the
+    // dead daemon left off.
+    let mut sampler =
+        Sampler::new(&metrics.registry, SERIES_CAPACITY).with_origin_us(unix_micros());
+    let mut scan_seq = replay_heartbeat(&cfg.out.join(METRICS_FILE), &mut sampler);
+    if scan_seq > 0 {
+        log(&format!("serve: resuming heartbeat history at scan #{scan_seq}"));
+    }
+    let sampler = Arc::new(Mutex::new(sampler));
     let mut seen_skipped: HashSet<String> = HashSet::new();
     let mut poisoned_logged: HashSet<String> = HashSet::new();
     let mut results_synced = false;
@@ -349,6 +418,8 @@ pub fn serve(cfg: &ServeConfig, log: Arc<LogFn>) -> Result<ServeSummary, CliErro
 
     loop {
         summary.scans += 1;
+        scan_seq += 1;
+        metrics.scan_seq.set(i64::try_from(scan_seq).unwrap_or(i64::MAX));
         metrics.scans.inc();
         let scan = scan_spool(&cfg.spool)?;
         // Report each poisoned file once per daemon lifetime, not once
@@ -387,7 +458,8 @@ pub fn serve(cfg: &ServeConfig, log: Arc<LogFn>) -> Result<ServeSummary, CliErro
                 pending.len(),
                 jobs.len()
             ));
-            let (executed, failed) = run_batch(cfg, &batch, &pending, &log, &metrics.registry);
+            let (executed, failed) =
+                run_batch(cfg, &batch, &pending, &log, &metrics.registry, &sampler);
             summary.executed += executed;
             summary.failed += failed;
             metrics.executed.add(executed as u64);
@@ -418,7 +490,14 @@ pub fn serve(cfg: &ServeConfig, log: Arc<LogFn>) -> Result<ServeSummary, CliErro
         // The heartbeat: every scan ends with a fresh metrics.json, so
         // an operator (or the CI smoke) can always read a consistent,
         // current view — including the shutdown scan in `once` mode.
-        metrics.write(&cfg.out)?;
+        let write_wall = metrics.write(&cfg.out, &sampler)?;
+        if write_wall > cfg.poll {
+            log(&format!(
+                "serve: warning: heartbeat write took {write_wall:?}, longer than the {:?} poll \
+                 interval — the heartbeat can never be current; raise --poll-ms",
+                cfg.poll
+            ));
+        }
 
         if cfg.once || cfg.max_scans.is_some_and(|max| summary.scans >= max) {
             return Ok(summary);
@@ -436,6 +515,7 @@ fn run_batch(
     pending: &[SpoolJob],
     log: &Arc<LogFn>,
     registry: &Registry,
+    sampler: &Arc<Mutex<Sampler>>,
 ) -> (usize, usize) {
     let keys: Arc<Vec<String>> = Arc::new(pending.iter().map(|job| job.key.clone()).collect());
     let specs: Vec<ScenarioSpec> = pending.iter().map(|job| job.spec.clone()).collect();
@@ -445,8 +525,10 @@ fn run_batch(
     let keys_cb = Arc::clone(&keys);
     let log_cb = Arc::clone(log);
     let abort_after = cfg.abort_after;
-    let mut runner =
-        SweepRunner::with_threads(cfg.jobs).observe(registry).on_progress(move |outcome| {
+    let mut runner = SweepRunner::with_threads(cfg.jobs)
+        .observe(registry)
+        .sample(sampler)
+        .on_progress(move |outcome| {
             let mut state = state.lock().expect("serve batch state poisoned");
             if state.aborted {
                 // In-flight stragglers after the simulated crash: a dead

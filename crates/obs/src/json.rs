@@ -238,6 +238,109 @@ impl Document {
     }
 }
 
+/// A parsed JSON value — the read half of this module. Objects keep
+/// their key order (schema-v2 sections are *ordered* object arrays),
+/// and numbers are `f64` (every value this schema emits — counts,
+/// micro-timestamps, throughputs — is exact well past 2^52).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, keys in document order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on an object (first match); `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => {
+                members.iter().find(|(name, _)| name == key).map(|(_, value)| value)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload truncated to `u64` (negative → 0).
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_f64().map(|n| if n.is_finite() && n > 0.0 { n as u64 } else { 0 })
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The member list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Convenience for schema-v2 documents: the named section as an
+    /// object array, or an empty slice when absent/mistyped.
+    pub fn section(&self, name: &str) -> &[Value] {
+        self.get(name).and_then(Value::as_array).unwrap_or(&[])
+    }
+}
+
+/// Parses `text` as a single JSON value.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(value)
+}
+
+/// Parses the file at `path` as a single JSON value.
+///
+/// # Errors
+///
+/// Returns the read error or the first syntax error, either way
+/// prefixed with the path.
+pub fn parse_file(path: impl AsRef<Path>) -> Result<Value, String> {
+    let path = path.as_ref();
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
 /// Checks that `text` is a single well-formed JSON value. Not a full
 /// deserializer — the workspace has no real serde — just enough of a
 /// recursive-descent parser to reject anything `json.tool` would.
@@ -246,14 +349,7 @@ impl Document {
 ///
 /// Returns a human-readable description of the first syntax error.
 pub fn validate(text: &str) -> Result<(), String> {
-    let bytes = text.as_bytes();
-    let mut pos = 0usize;
-    parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing bytes at offset {pos}"));
-    }
-    Ok(())
+    parse(text).map(|_| ())
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -262,99 +358,133 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         Some(b'{') => parse_object(bytes, pos),
         Some(b'[') => parse_array(bytes, pos),
-        Some(b'"') => parse_string(bytes, pos),
-        Some(b't') => parse_literal(bytes, pos, b"true"),
-        Some(b'f') => parse_literal(bytes, pos, b"false"),
-        Some(b'n') => parse_literal(bytes, pos, b"null"),
+        Some(b'"') => parse_string(bytes, pos).map(Value::String),
+        Some(b't') => parse_literal(bytes, pos, b"true").map(|()| Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, b"false").map(|()| Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, b"null").map(|()| Value::Null),
         Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
         Some(other) => Err(format!("unexpected byte {other:#04x} at offset {pos}", pos = *pos)),
         None => Err("unexpected end of input".into()),
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     *pos += 1; // consume '{'
     skip_ws(bytes, pos);
+    let mut members = Vec::new();
     if bytes.get(*pos) == Some(&b'}') {
         *pos += 1;
-        return Ok(());
+        return Ok(Value::Object(members));
     }
     loop {
         skip_ws(bytes, pos);
         if bytes.get(*pos) != Some(&b'"') {
             return Err(format!("expected object key at offset {pos}", pos = *pos));
         }
-        parse_string(bytes, pos)?;
+        let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         if bytes.get(*pos) != Some(&b':') {
             return Err(format!("expected ':' at offset {pos}", pos = *pos));
         }
         *pos += 1;
-        parse_value(bytes, pos)?;
+        members.push((key, parse_value(bytes, pos)?));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b'}') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Value::Object(members));
             }
             _ => return Err(format!("expected ',' or '}}' at offset {pos}", pos = *pos)),
         }
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     *pos += 1; // consume '['
     skip_ws(bytes, pos);
+    let mut items = Vec::new();
     if bytes.get(*pos) == Some(&b']') {
         *pos += 1;
-        return Ok(());
+        return Ok(Value::Array(items));
     }
     loop {
-        parse_value(bytes, pos)?;
+        items.push(parse_value(bytes, pos)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b']') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Value::Array(items));
             }
             _ => return Err(format!("expected ',' or ']' at offset {pos}", pos = *pos)),
         }
     }
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     *pos += 1; // consume opening quote
+    let mut out = String::new();
     while let Some(&byte) = bytes.get(*pos) {
         match byte {
             b'"' => {
                 *pos += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => {
                 let escape = bytes.get(*pos + 1).copied();
                 match escape {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
                     Some(b'u') => {
                         let hex = bytes.get(*pos + 2..*pos + 6).ok_or("truncated \\u escape")?;
                         if !hex.iter().all(u8::is_ascii_hexdigit) {
                             return Err(format!("bad \\u escape at offset {pos}", pos = *pos));
                         }
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).unwrap(), 16)
+                            .expect("four hex digits");
+                        // Surrogates (the writer never emits them) fall
+                        // back to the replacement character rather than
+                        // growing a pairing decoder here.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         *pos += 6;
+                        continue;
                     }
                     _ => return Err(format!("bad escape at offset {pos}", pos = *pos)),
                 }
+                *pos += 2;
             }
             0x00..=0x1F => {
                 return Err(format!("raw control byte in string at offset {pos}", pos = *pos))
             }
-            _ => *pos += 1,
+            _ => {
+                // Consume the whole UTF-8 scalar (the input is a &str,
+                // so continuation bytes are guaranteed well-formed).
+                let len = match byte {
+                    0x00..=0x7F => 1,
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                let end = (*pos + len).min(bytes.len());
+                out.push_str(
+                    std::str::from_utf8(&bytes[*pos..end]).map_err(|_| {
+                        format!("invalid UTF-8 in string at offset {pos}", pos = *pos)
+                    })?,
+                );
+                *pos = end;
+            }
         }
     }
     Err("unterminated string".into())
@@ -369,7 +499,7 @@ fn parse_literal(bytes: &[u8], pos: &mut usize, expected: &[u8]) -> Result<(), S
     }
 }
 
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -399,7 +529,8 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
             return Err(format!("bad exponent at offset {start}"));
         }
     }
-    Ok(())
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII number bytes");
+    text.parse::<f64>().map(Value::Number).map_err(|_| format!("bad number at offset {start}"))
 }
 
 #[cfg(test)]
@@ -485,6 +616,43 @@ mod tests {
         ] {
             assert!(validate(bad).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn parse_builds_the_value_tree() {
+        let value = parse("{\"a\": [1, -2.5e1, \"x\\ny\"], \"b\": {\"c\": true, \"d\": null}}")
+            .expect("must parse");
+        assert_eq!(value.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(value.section("a")[0].as_f64(), Some(1.0));
+        assert_eq!(value.section("a")[1].as_f64(), Some(-25.0));
+        assert_eq!(value.section("a")[2].as_str(), Some("x\ny"));
+        assert_eq!(value.get("b").unwrap().get("c"), Some(&Value::Bool(true)));
+        assert_eq!(value.get("b").unwrap().get("d"), Some(&Value::Null));
+        assert_eq!(value.get("missing"), None);
+        assert!(value.section("missing").is_empty());
+    }
+
+    #[test]
+    fn parse_unescapes_and_preserves_member_order() {
+        let value = parse("{\"z\": 1, \"a\": \"q\\\"\\u00e9\\t\"}").expect("must parse");
+        let keys: Vec<&str> = value.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["z", "a"], "document order, not sorted");
+        assert_eq!(value.get("a").unwrap().as_str(), Some("q\"\u{e9}\t"));
+    }
+
+    #[test]
+    fn documents_round_trip_through_parse() {
+        let mut doc = Document::new("metrics", "round-trip");
+        doc.set_build(BuildInfo::pinned());
+        doc.push_object("counters", &[("name", escape("a.b")), ("value", "7".into())]);
+        doc.section("series");
+        let value = parse(&doc.to_json()).expect("writer output must parse");
+        assert_eq!(value.get("schema_version").unwrap().as_u64(), Some(2));
+        assert_eq!(value.get("kind").unwrap().as_str(), Some("metrics"));
+        assert_eq!(value.get("build").unwrap().get("host_threads").unwrap().as_u64(), Some(8));
+        assert_eq!(value.section("counters")[0].get("name").unwrap().as_str(), Some("a.b"));
+        assert_eq!(value.section("counters")[0].get("value").unwrap().as_u64(), Some(7));
+        assert!(value.section("series").is_empty());
     }
 
     #[test]

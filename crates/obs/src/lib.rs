@@ -14,6 +14,13 @@
 //!   `&mut self` hot paths, flushed via [`Histogram::absorb`] deltas.
 //! - [`Span`]: an RAII wall-clock timer feeding a histogram, plus
 //!   [`SpanRecorder`]/[`SpanTree`] for the `dlk run --trace` span tree.
+//! - [`TimeSeries`] / [`Sampler`]: the temporal layer — a
+//!   fixed-capacity ring of timestamped samples with windowed
+//!   `rate()`/`mean()`/EWMA, filled by snapshotting a registry on a
+//!   caller-driven tick (histogram deltas absorbed per tick), so
+//!   "what happened over the last N seconds" costs O(capacity) no
+//!   matter how long the daemon runs. `dlk serve` heartbeats and
+//!   `dlk top` render these.
 //! - [`Registry`]: a clonable name → metric table with plain-text and
 //!   schema-v2 JSON exposition ([`Registry::write_json`] is atomic,
 //!   tmp + rename, the same discipline as the serve daemon's
@@ -30,9 +37,11 @@ pub mod hist;
 pub mod json;
 pub mod metric;
 pub mod registry;
+pub mod series;
 pub mod span;
 
 pub use hist::{Histogram, HistogramSnapshot, LocalHistogram, Span};
 pub use metric::{Counter, Gauge};
 pub use registry::{Metric, Registry};
+pub use series::{Sample, Sampler, TimeSeries};
 pub use span::{SpanId, SpanRecorder, SpanTree};

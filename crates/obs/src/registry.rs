@@ -114,9 +114,23 @@ impl Registry {
         self.inner.lock().expect("obs registry poisoned").get(name).cloned()
     }
 
-    /// Plain-text exposition: one `name value` line per metric in
-    /// name order; histograms expand to `count/sum/max/p50/p95/p99`
-    /// sub-lines. Stable format, pinned by golden tests.
+    /// A point-in-time listing of every registered metric, in name
+    /// order (cloned handles — the lock is released before return, so
+    /// callers like the [`Sampler`](crate::Sampler) can walk it without
+    /// holding up registration).
+    pub fn metrics(&self) -> Vec<(String, Metric)> {
+        self.inner
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(name, metric)| (name.clone(), metric.clone()))
+            .collect()
+    }
+
+    /// Plain-text exposition: one `name value` line per metric in name
+    /// order; histograms expand to `count/sum/max/mean/p50/p95/p99`
+    /// sub-lines (`mean` is exact — the histogram tracks the sample sum
+    /// alongside its buckets). Stable format, pinned by golden tests.
     pub fn to_text(&self) -> String {
         let map = self.inner.lock().expect("obs registry poisoned");
         let mut out = String::new();
@@ -129,6 +143,7 @@ impl Registry {
                     out.push_str(&format!("{name}.count {}\n", snap.count));
                     out.push_str(&format!("{name}.sum {}\n", snap.sum));
                     out.push_str(&format!("{name}.max {}\n", snap.max));
+                    out.push_str(&format!("{name}.mean {}\n", json::number(snap.mean)));
                     out.push_str(&format!("{name}.p50 {}\n", snap.p50));
                     out.push_str(&format!("{name}.p95 {}\n", snap.p95));
                     out.push_str(&format!("{name}.p99 {}\n", snap.p99));

@@ -1,12 +1,15 @@
 //! Satellite contract tests for `dlk-obs`: the histogram's percentile
-//! guarantee against a sorted-vec oracle (property-based), counter
-//! linearity under real thread contention, and golden-file-pinned
-//! text/JSON exposition so the formats can't drift silently.
+//! guarantee against a sorted-vec oracle (property-based), the
+//! time-series ring + windowed rate against a Vec oracle
+//! (property-based), sampler delta-absorb exactness across ticks,
+//! counter linearity under real thread contention, and
+//! golden-file-pinned text/JSON exposition so the formats can't drift
+//! silently.
 
 use std::sync::Arc;
 
 use dlk_obs::json::BuildInfo;
-use dlk_obs::{Histogram, Registry};
+use dlk_obs::{Histogram, Registry, Sample, Sampler, TimeSeries};
 use proptest::collection;
 use proptest::prelude::*;
 
@@ -74,6 +77,93 @@ proptest! {
     }
 }
 
+proptest! {
+    /// The ring is exactly "a Vec that forgets its oldest entries":
+    /// after any push sequence the retained samples equal the tail of
+    /// the full history, and every windowed query agrees with the
+    /// oracle computed on that tail.
+    #[test]
+    fn ring_matches_a_vec_oracle_through_wraparound(
+        capacity in 1usize..12,
+        deltas in collection::vec((0u64..5_000_000, -1000i64..1000), 0..40),
+        window_raw in 0u64..20_000_002,
+    ) {
+        // Fold the edge cases into the range: 0 = "latest sample only",
+        // the top value = "unbounded window".
+        let window_us = if window_raw == 20_000_001 { u64::MAX } else { window_raw };
+        let mut series = TimeSeries::new(capacity);
+        let mut oracle: Vec<Sample> = Vec::new();
+        // Timestamps are cumulative deltas: nondecreasing, like any
+        // real clock the sampler ticks with.
+        let mut t_us = 0u64;
+        for (dt, value) in deltas {
+            t_us += dt;
+            series.push(t_us, value as f64);
+            oracle.push(Sample { t_us, value: value as f64 });
+        }
+        let tail: Vec<Sample> =
+            oracle.iter().copied().skip(oracle.len().saturating_sub(capacity)).collect();
+
+        prop_assert_eq!(series.len(), tail.len());
+        prop_assert_eq!(series.iter().collect::<Vec<_>>(), tail.clone());
+        prop_assert_eq!(series.last(), tail.last().copied());
+
+        let from = tail.last().map_or(0, |last| last.t_us.saturating_sub(window_us));
+        let windowed: Vec<Sample> = tail.iter().copied().filter(|s| s.t_us >= from).collect();
+        prop_assert_eq!(series.window(window_us).collect::<Vec<_>>(), windowed.clone());
+
+        let expected_rate = match (windowed.first(), windowed.last()) {
+            (Some(first), Some(last)) if last.t_us > first.t_us => {
+                Some((last.value - first.value) / ((last.t_us - first.t_us) as f64 / 1e6))
+            }
+            _ => None,
+        };
+        prop_assert_eq!(series.rate(window_us), expected_rate);
+
+        let expected_mean = (!windowed.is_empty())
+            .then(|| windowed.iter().map(|s| s.value).sum::<f64>() / windowed.len() as f64);
+        prop_assert_eq!(series.mean(window_us), expected_mean);
+    }
+
+    /// Across any tick boundaries, the sampler's histogram series stay
+    /// exact: `<name>.count` is the lifetime count, and each tick's
+    /// `<name>.mean` is the exact mean of precisely the samples
+    /// recorded since the previous tick — no double counting, no loss.
+    #[test]
+    fn sampler_absorbs_histogram_deltas_exactly(
+        batches in collection::vec(collection::vec(0u64..100_000, 0..10), 1..8),
+    ) {
+        let registry = Registry::new();
+        let hist = registry.histogram("h");
+        let mut sampler = Sampler::new(&registry, batches.len().max(1));
+
+        let mut lifetime = 0u64;
+        for (tick, batch) in batches.iter().enumerate() {
+            for &v in batch {
+                hist.record(v);
+            }
+            lifetime += batch.len() as u64;
+            sampler.tick_at(tick as u64);
+
+            let count = sampler.get("h.count").unwrap().last().unwrap().value;
+            prop_assert_eq!(count, lifetime as f64);
+            let mean = sampler.get("h.mean").unwrap().last().unwrap().value;
+            let expected = if batch.is_empty() {
+                0.0
+            } else {
+                batch.iter().sum::<u64>() as f64 / batch.len() as f64
+            };
+            prop_assert!(
+                mean == expected,
+                "tick {} mean {} must cover only its batch (expected {})",
+                tick,
+                mean,
+                expected
+            );
+        }
+    }
+}
+
 #[test]
 fn concurrent_increments_from_scoped_threads_all_land() {
     const THREADS: u64 = 8;
@@ -126,4 +216,43 @@ fn json_exposition_matches_the_golden_file() {
     let json = doc.to_json();
     dlk_obs::json::validate(&json).expect("golden render must parse");
     assert_eq!(json, include_str!("golden/registry.json"));
+}
+
+/// Ticks the golden registry twice (one more executed job, one more
+/// latency sample in between) — what the series golden files pin.
+fn golden_sampler() -> Sampler {
+    let registry = golden_registry();
+    let mut sampler = Sampler::new(&registry, 4);
+    sampler.tick_at(1_000_000);
+    registry.counter("serve.executed").inc();
+    registry.histogram("memctrl.latency").record(6);
+    sampler.tick_at(2_000_000);
+    sampler
+}
+
+#[test]
+fn series_text_exposition_matches_the_golden_file() {
+    assert_eq!(golden_sampler().to_text(), include_str!("golden/series.txt"));
+}
+
+#[test]
+fn series_json_exposition_matches_the_golden_file() {
+    let sampler = golden_sampler();
+    let mut doc = golden_registry().to_document("golden");
+    doc.set_build(BuildInfo::pinned());
+    sampler.export_into(&mut doc);
+    let json = doc.to_json();
+    dlk_obs::json::validate(&json).expect("golden series render must parse");
+    assert_eq!(json, include_str!("golden/series.json"));
+
+    // And the exported section parses back into the exact samples.
+    let value = dlk_obs::json::parse(&json).unwrap();
+    let series = value.section("series");
+    assert_eq!(series.len(), 5, "counter + gauge + 3 histogram series");
+    let (name, samples) = dlk_obs::series::parse_series_object(&series[4]).unwrap();
+    assert_eq!(name, "sweep.queue_depth");
+    assert_eq!(
+        samples,
+        [Sample { t_us: 1_000_000, value: -2.0 }, Sample { t_us: 2_000_000, value: -2.0 }]
+    );
 }

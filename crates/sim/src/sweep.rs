@@ -44,7 +44,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dlk_dnn::models::ModelKind;
-use dlk_obs::{Counter, Gauge, Histogram, Registry};
+use dlk_obs::{Counter, Gauge, Histogram, Registry, Sampler};
 
 use crate::error::SimError;
 use crate::report::RunReport;
@@ -343,6 +343,7 @@ pub struct SweepRunner {
     timeout: Option<Duration>,
     progress: Option<Arc<ProgressFn>>,
     obs: Option<Registry>,
+    sampler: Option<Arc<Mutex<Sampler>>>,
 }
 
 impl std::fmt::Debug for SweepRunner {
@@ -352,6 +353,7 @@ impl std::fmt::Debug for SweepRunner {
             .field("timeout", &self.timeout)
             .field("progress", &self.progress.as_ref().map(|_| "Fn"))
             .field("observed", &self.obs.is_some())
+            .field("sampled", &self.sampler.is_some())
             .finish()
     }
 }
@@ -401,7 +403,7 @@ impl SweepRunner {
 
     /// Runs specs across exactly `threads` workers (at least one).
     pub fn with_threads(threads: usize) -> Self {
-        Self { threads: threads.max(1), timeout: None, progress: None, obs: None }
+        Self { threads: threads.max(1), timeout: None, progress: None, obs: None, sampler: None }
     }
 
     /// The worker count.
@@ -443,6 +445,17 @@ impl SweepRunner {
     /// engine/controller/locker metrics aggregate across the grid.
     pub fn observe(mut self, registry: &Registry) -> Self {
         self.obs = Some(registry.clone());
+        self
+    }
+
+    /// Connects the runner to a shared [`Sampler`]: the sampler ticks
+    /// once per completed job (from the finishing worker's thread), so
+    /// queue depth, busy/idle time and the job wall-clock percentiles
+    /// become time series without any polling thread. Pair it with
+    /// [`observe`](SweepRunner::observe) on the sampler's registry —
+    /// a sampler over an unobserved runner has nothing to snapshot.
+    pub fn sample(mut self, sampler: &Arc<Mutex<Sampler>>) -> Self {
+        self.sampler = Some(Arc::clone(sampler));
         self
     }
 
@@ -513,6 +526,9 @@ impl SweepRunner {
                     mark = Instant::now();
                 }
                 slots.lock().expect("sweep slots")[index] = Some(outcome);
+                if let Some(sampler) = &self.sampler {
+                    sampler.lock().expect("sweep sampler").tick();
+                }
                 if !keep_going {
                     queue.cancel();
                 }
@@ -782,6 +798,24 @@ mod tests {
         assert_eq!(registry.gauge("sweep.queue_depth").get(), 0);
         let stolen = outcomes.iter().filter(|o| o.stolen).count() as u64;
         assert_eq!(registry.counter("sweep.steals").get(), stolen);
+    }
+
+    #[test]
+    fn sampled_runner_ticks_once_per_completed_job() {
+        let registry = Registry::new();
+        let sampler = Arc::new(Mutex::new(Sampler::new(&registry, 16)));
+        let outcomes =
+            SweepRunner::with_threads(2).observe(&registry).sample(&sampler).run_fn(6, failing_job);
+        assert_eq!(outcomes.len(), 6);
+        let sampler = sampler.lock().unwrap();
+        let jobs = sampler.get("sweep.jobs").expect("jobs series");
+        assert_eq!(jobs.len(), 6, "one tick per completion");
+        assert_eq!(jobs.last().unwrap().value, 6.0);
+        // Depth was sampled on the way down and the busy/idle split
+        // became series alongside the queue counters.
+        assert!(sampler.get("sweep.queue_depth").is_some());
+        assert!(sampler.get("sweep.worker_busy_ns").is_some());
+        assert!(sampler.get("sweep.job_wall_us.p95").is_some());
     }
 
     #[test]
