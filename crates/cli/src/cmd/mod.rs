@@ -4,6 +4,7 @@
 
 pub mod bench;
 pub mod catalog;
+pub mod check;
 pub mod run;
 pub mod serve;
 pub mod sweep;
@@ -19,6 +20,11 @@ use crate::CliError;
 /// looks like a path (exists, ends in `.dlk`, or contains a separator)
 /// is loaded as a spec file; everything else is a catalog name, so an
 /// unknown one surfaces the catalog's did-you-mean suggestion.
+///
+/// Loaded specs pass through the `dlk check` semantic rules before
+/// they are returned, so a bad spec fails fast with a rule code (and
+/// its record's `file:line:col`) instead of somewhere mid-run;
+/// warnings print to stderr and do not block.
 pub(crate) fn load_specs(target: &str) -> Result<Vec<ScenarioSpec>, CliError> {
     let looks_like_path =
         Path::new(target).exists() || target.ends_with(".dlk") || target.contains(MAIN_SEPARATOR);
@@ -27,10 +33,31 @@ pub(crate) fn load_specs(target: &str) -> Result<Vec<ScenarioSpec>, CliError> {
         if specs.is_empty() {
             return Err(CliError::Failed(format!("{target}: no specs in file")));
         }
+        let text = std::fs::read_to_string(target).map_err(|error| CliError::io(target, error))?;
+        deny_semantic_errors(dlk_lint::analyze::analyze_text(target, &text)?)?;
         Ok(specs)
     } else {
-        Ok(vec![dlk_sim::find(target)?.spec])
+        let entry = dlk_sim::find(target)?;
+        let report =
+            dlk_lint::analyze::analyze_spec(&format!("<catalog:{}>", entry.name), &entry.spec);
+        deny_semantic_errors(report)?;
+        Ok(vec![entry.spec])
     }
+}
+
+/// Fails with the rendered findings when any are error-severity;
+/// prints warning-only reports to stderr.
+fn deny_semantic_errors(report: dlk_lint::Report) -> Result<(), CliError> {
+    if report.errors() > 0 {
+        return Err(CliError::Failed(format!(
+            "spec failed semantic checks (see `dlk check`):\n{}",
+            report.render_text()
+        )));
+    }
+    if report.warnings() > 0 {
+        eprint!("{}", report.render_text());
+    }
+    Ok(())
 }
 
 /// Exactly one positional operand, or a usage error citing `usage`.

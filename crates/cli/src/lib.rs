@@ -48,6 +48,7 @@ USAGE:
   dlk run <spec.dlk | catalog-name> [--csv] [--trace]
   dlk sweep <grid.dlk> [--jobs N] [--out FILE] [--timeout-secs S]
             [--metrics FILE]
+  dlk check <spec.dlk | dir | catalog-name>
   dlk catalog [--filter SUBSTR] [--dump NAME [--to FILE]]
   dlk serve --spool DIR --out DIR [--jobs N] [--poll-ms M] [--once]
             [--timeout-secs S] [--abort-after K]
@@ -123,6 +124,7 @@ pub fn run_main(args: Vec<String>) -> i32 {
     let result = match command.as_str() {
         "run" => cmd::run::run(rest),
         "sweep" => cmd::sweep::run(rest),
+        "check" => cmd::check::run(rest),
         "catalog" => cmd::catalog::run(rest),
         "serve" => cmd::serve::run(rest),
         "top" => cmd::top::run(rest),

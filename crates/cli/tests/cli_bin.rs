@@ -144,3 +144,62 @@ fn serve_once_drains_a_spool_and_then_skips() {
     assert!(stderr(&second).contains("0 executed (0 failed), 1 skipped"), "{}", stderr(&second));
     fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn check_passes_the_committed_spec_corpus_and_catalog() {
+    let specs = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs");
+    let corpus = dlk(&["check", specs]);
+    assert!(corpus.status.success(), "{}", stderr(&corpus));
+    assert!(stdout(&corpus).contains("0 errors"), "{}", stdout(&corpus));
+
+    let entry = dlk(&["check", "hammer-vs-dram-locker"]);
+    assert!(entry.status.success(), "{}", stderr(&entry));
+
+    let typo = dlk(&["check", "hammer-vs-dram-lokcer"]);
+    assert_eq!(typo.status.code(), Some(1));
+    assert!(stderr(&typo).contains("did you mean 'hammer-vs-dram-locker'?"), "{}", stderr(&typo));
+}
+
+#[test]
+fn check_flags_semantic_errors_and_run_fails_fast_on_them() {
+    let dir = sandbox("check");
+    let dump = dlk(&["catalog", "--dump", "hammer-vs-dram-locker"]);
+    assert!(dump.status.success(), "{}", stderr(&dump));
+    // A zeroed budget parses fine but can never run: DLK103 territory.
+    let spec = dir.join("bad.dlk");
+    fs::write(
+        &spec,
+        stdout(&dump)
+            .lines()
+            .map(|line| {
+                if line.starts_with("budget ") {
+                    "budget activations=0 check=8 iterations=1"
+                } else {
+                    line
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n"),
+    )
+    .unwrap();
+    let spec = spec.display().to_string();
+
+    let check = dlk(&["check", &spec]);
+    assert_eq!(check.status.code(), Some(1), "{}", stderr(&check));
+    let findings = stdout(&check);
+    assert!(findings.contains("error[DLK103]"), "{findings}");
+    assert!(findings.contains("activations=0"), "{findings}");
+    assert!(stderr(&check).contains("1 semantic error"), "{}", stderr(&check));
+
+    // The same rules gate `dlk run`, so a bad spec fails before executing.
+    let run = dlk(&["run", &spec]);
+    assert_eq!(run.status.code(), Some(1));
+    assert!(stderr(&run).contains("spec failed semantic checks"), "{}", stderr(&run));
+    assert!(stderr(&run).contains("DLK103"), "{}", stderr(&run));
+
+    // Directory mode sweeps everything under the tree.
+    let dir_check = dlk(&["check", &dir.display().to_string()]);
+    assert_eq!(dir_check.status.code(), Some(1));
+    assert!(stdout(&dir_check).contains("DLK103"), "{}", stdout(&dir_check));
+    fs::remove_dir_all(&dir).ok();
+}

@@ -201,6 +201,22 @@ impl ModelKind {
     pub fn from_token(token: &str) -> Option<Self> {
         Self::ALL.into_iter().find(|kind| kind.token() == token)
     }
+
+    /// Number of weighted layers (dense + conv) in this kind's
+    /// architecture — available *without* training the victim, so
+    /// static analyzers can sanity-check layer-indexed attack
+    /// parameters before a run. Pinned to the constructors (see the
+    /// `weighted_layers_match_constructed_networks` test).
+    pub fn weighted_layers(self) -> usize {
+        match self {
+            ModelKind::Tiny => 2,
+            ModelKind::TinyCnn => 7,
+            ModelKind::Resnet20 => 5,
+            ModelKind::Vgg11 => 3,
+            ModelKind::Resnet20Cnn => 22,
+            ModelKind::Vgg11Cnn => 11,
+        }
+    }
 }
 
 /// A trained-and-quantized victim: model, dataset and clean accuracy.
@@ -376,6 +392,16 @@ mod tests {
         let t = tiny_cnn(0);
         assert_eq!(t.weighted_count(), 7);
         assert_eq!(t.num_classes(), 4);
+    }
+
+    #[test]
+    fn weighted_layers_match_constructed_networks() {
+        assert_eq!(ModelKind::Tiny.weighted_layers(), tiny_mlp(0).num_layers());
+        assert_eq!(ModelKind::Resnet20.weighted_layers(), resnet20_like(0).num_layers());
+        assert_eq!(ModelKind::Vgg11.weighted_layers(), vgg11_like(0).num_layers());
+        assert_eq!(ModelKind::TinyCnn.weighted_layers(), tiny_cnn(0).weighted_count());
+        assert_eq!(ModelKind::Resnet20Cnn.weighted_layers(), resnet20_cnn(0).weighted_count());
+        assert_eq!(ModelKind::Vgg11Cnn.weighted_layers(), vgg11_cnn(0).weighted_count());
     }
 
     #[test]

@@ -1,0 +1,429 @@
+//! A hand-rolled Rust lexer — just enough of one for invariant
+//! linting.
+//!
+//! The environment is offline and the workspace vendors no `syn`, so
+//! the source rules work on a flat token stream instead of a syntax
+//! tree. The lexer's one job is to be *reliable about what is not
+//! code*: line comments, nested block comments, doc comments, string
+//! literals (plain, byte, raw with any `#` count), char literals and
+//! lifetimes are all recognised and excluded from the token stream, so
+//! an `unwrap` inside a doc example or an error message can never trip
+//! a rule. Comments are kept (with their line spans) for
+//! `// dlk-lint: allow(CODE)` suppression scanning, and the token
+//! stream is precise enough to find `#[cfg(test)]` regions and match
+//! multi-token patterns like `. unwrap (` or `Ordering :: SeqCst`.
+
+/// What a token is: an identifier/keyword, or a single punctuation
+/// character. Literals and whitespace never become tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `enum`, `r#match` → `match`).
+    Ident(String),
+    /// One punctuation character (`.`, `(`, `:`, `#`, ...).
+    Punct(char),
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Identifier or punctuation.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (in characters).
+    pub col: usize,
+}
+
+impl Token {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(name) => Some(name),
+            TokenKind::Punct(_) => None,
+        }
+    }
+
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// True when this token is the punctuation `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct(ch)
+    }
+}
+
+/// A comment (line or block) with the lines it spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// 1-based line the comment ends on (== `line` for line comments).
+    pub end_line: usize,
+    /// The comment text, delimiters included.
+    pub text: String,
+}
+
+/// A lexed source file: the code tokens plus the comments.
+#[derive(Debug, Clone, Default)]
+pub struct LexedFile {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source` into tokens and comments.
+pub fn lex(source: &str) -> LexedFile {
+    Lexer::new(source).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+    out: LexedFile,
+}
+
+impl Lexer {
+    fn new(source: &str) -> Self {
+        Self { chars: source.chars().collect(), pos: 0, line: 1, col: 1, out: LexedFile::default() }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if ch == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(ch)
+    }
+
+    fn run(mut self) -> LexedFile {
+        while let Some(ch) = self.peek(0) {
+            if ch.is_whitespace() {
+                self.bump();
+            } else if ch == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if ch == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if ch == '"' {
+                self.string_literal();
+            } else if ch == '\'' {
+                self.quote();
+            } else if ch == '_' || ch.is_alphabetic() {
+                self.ident_or_prefixed_literal();
+            } else if ch.is_ascii_digit() {
+                self.number_literal();
+            } else {
+                let (line, col) = (self.line, self.col);
+                self.bump();
+                self.out.tokens.push(Token { kind: TokenKind::Punct(ch), line, col });
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(ch) = self.peek(0) {
+            if ch == '\n' {
+                break;
+            }
+            text.push(ch);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, end_line: line, text });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(ch) = self.peek(0) {
+            if ch == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if ch == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(ch);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { line, end_line: self.line, text });
+    }
+
+    /// A plain or byte string body, opening quote not yet consumed.
+    fn string_literal(&mut self) {
+        self.bump(); // opening "
+        while let Some(ch) = self.bump() {
+            match ch {
+                '"' => return,
+                '\\' => {
+                    self.bump();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// A raw (or raw byte) string: `r`/`br` is already consumed and the
+    /// cursor sits on the first `#` or the opening quote.
+    fn raw_string_literal(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening "
+        while let Some(ch) = self.bump() {
+            if ch == '"' && (0..hashes).all(|i| self.peek(i) == Some('#')) {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                return;
+            }
+        }
+    }
+
+    /// A `'`: char literal or lifetime.
+    fn quote(&mut self) {
+        self.bump(); // the '
+        match self.peek(0) {
+            // Escape: unambiguously a char literal ('\n', '\'', '\u{..}').
+            Some('\\') => {
+                self.bump(); // the backslash
+                self.bump(); // the escaped char (enough for '\'' too)
+                while let Some(ch) = self.bump() {
+                    if ch == '\'' {
+                        break;
+                    }
+                }
+            }
+            // Ident-start: 'a' (char) vs 'a / 'static (lifetime). Scan
+            // the ident run; a closing quote right after means char.
+            Some(ch) if ch == '_' || ch.is_alphabetic() => {
+                let mut run = 0usize;
+                while matches!(self.peek(run), Some(c) if c == '_' || c.is_alphanumeric()) {
+                    run += 1;
+                }
+                let is_char = self.peek(run) == Some('\'');
+                for _ in 0..run {
+                    self.bump();
+                }
+                if is_char {
+                    self.bump(); // closing '
+                }
+            }
+            // Any other char: a literal like ' ' or '('.
+            Some(_) => {
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let mut name = String::new();
+        while matches!(self.peek(0), Some(c) if c == '_' || c.is_alphanumeric()) {
+            name.push(self.bump().expect("peeked"));
+        }
+        // String-literal prefixes: the "ident" was really r"", r#""#,
+        // b"", br#""#, or a raw identifier r#name.
+        match (name.as_str(), self.peek(0)) {
+            ("r" | "br", Some('"')) => return self.raw_string_literal(),
+            ("r" | "br", Some('#')) => {
+                // r#ident (raw identifier) vs r#"raw string".
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    return self.raw_string_literal();
+                }
+                if name == "r" && hashes == 1 {
+                    self.bump(); // the #
+                    let mut raw = String::new();
+                    while matches!(self.peek(0), Some(c) if c == '_' || c.is_alphanumeric()) {
+                        raw.push(self.bump().expect("peeked"));
+                    }
+                    self.out.tokens.push(Token { kind: TokenKind::Ident(raw), line, col });
+                    return;
+                }
+            }
+            ("b", Some('"')) => return self.string_literal(),
+            ("b", Some('\'')) => return self.quote(),
+            _ => {}
+        }
+        self.out.tokens.push(Token { kind: TokenKind::Ident(name), line, col });
+    }
+
+    fn number_literal(&mut self) {
+        // Digits plus suffixes/prefixes (0x1F, 1_000u64, 1.5e3). A dot
+        // is part of the number only when a digit follows, so `1.max()`
+        // still tokenizes the method call.
+        while let Some(ch) = self.peek(0) {
+            let in_number = ch == '_'
+                || ch.is_alphanumeric()
+                || (ch == '.' && matches!(self.peek(1), Some(c) if c.is_ascii_digit()));
+            if !in_number {
+                break;
+            }
+            self.bump();
+        }
+    }
+}
+
+/// The `#[cfg(test)]` line ranges of a token stream: each detected
+/// attribute plus the item it covers (to its closing brace, or to the
+/// `;` of a braceless item).
+pub fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut at = 0usize;
+    while at + 6 < tokens.len() {
+        let is_cfg_test = tokens[at].is_punct('#')
+            && tokens[at + 1].is_punct('[')
+            && tokens[at + 2].is_ident("cfg")
+            && tokens[at + 3].is_punct('(')
+            && tokens[at + 4].is_ident("test")
+            && tokens[at + 5].is_punct(')')
+            && tokens[at + 6].is_punct(']');
+        if !is_cfg_test {
+            at += 1;
+            continue;
+        }
+        let start_line = tokens[at].line;
+        let mut scan = at + 7;
+        // Find where the attributed item ends: the matching close brace
+        // of its first block, or a top-level `;` before any brace.
+        let mut end_line = start_line;
+        let mut depth = 0usize;
+        while let Some(token) = tokens.get(scan) {
+            if token.is_punct('{') {
+                depth += 1;
+            } else if token.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    end_line = token.line;
+                    break;
+                }
+            } else if token.is_punct(';') && depth == 0 {
+                end_line = token.line;
+                break;
+            }
+            end_line = token.line;
+            scan += 1;
+        }
+        regions.push((start_line, end_line));
+        at = scan + 1;
+    }
+    regions
+}
+
+/// True when `line` falls inside any of `regions` (inclusive).
+pub fn in_regions(regions: &[(usize, usize)], line: usize) -> bool {
+    regions.iter().any(|&(from, to)| (from..=to).contains(&line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        lex(source).tokens.iter().filter_map(|t| t.ident().map(str::to_string)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_idents() {
+        let source = r##"
+            // unwrap in a line comment
+            /* unwrap in a /* nested */ block */
+            let a = "unwrap() in a string";
+            let b = r#"unwrap in a raw "string""#;
+            let c = b"unwrap bytes";
+            real_ident();
+        "##;
+        let names = idents(source);
+        assert_eq!(names, ["let", "a", "let", "b", "let", "c", "real_ident"]);
+        let lexed = lex(source);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("line comment"));
+        assert!(lexed.comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let source = "fn f<'a>(x: &'a str) { m('\\'', 'b', '(', b'c'); s('d') }";
+        let names = idents(source);
+        // Lifetimes vanish with their quote; char literals leave no
+        // idents either.
+        assert_eq!(names, ["fn", "f", "x", "str", "m", "s"]);
+    }
+
+    #[test]
+    fn raw_identifiers_unwrap_to_the_word() {
+        let names = idents("let r#match = r#\"raw \"s\"\"#;");
+        assert_eq!(names, ["let", "match"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls() {
+        let names = idents("let x = 1.max(2) + 0x1F + 1_000u64 + 1.5e3;");
+        assert_eq!(names, ["let", "x", "max"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("a\n  bb");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_the_item() {
+        let source = "fn hot() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\nfn cold() {}\n";
+        let lexed = lex(source);
+        let regions = test_regions(&lexed.tokens);
+        assert_eq!(regions, [(2, 5)]);
+        assert!(!in_regions(&regions, 1));
+        assert!(in_regions(&regions, 4));
+        assert!(!in_regions(&regions, 6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let source = "#[cfg(not(test))]\nmod x {\n fn y() {}\n}\n";
+        let lexed = lex(source);
+        assert!(test_regions(&lexed.tokens).is_empty());
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let source = "#[cfg(test)]\nuse helper::thing;\nfn hot() {}\n";
+        let lexed = lex(source);
+        assert_eq!(test_regions(&lexed.tokens), [(1, 2)]);
+    }
+}

@@ -1,0 +1,6 @@
+//! The `dlk-lint` binary: argument handling lives in
+//! [`dlk_lint::run_main`] so tests can drive it in-process.
+
+fn main() {
+    std::process::exit(dlk_lint::run_main(std::env::args().skip(1).collect()));
+}

@@ -1,0 +1,114 @@
+//! Golden-pinned diagnostics over the fixture corpus in
+//! `tests/fixtures/`, plus exit-code checks against the real
+//! `dlk-lint` binary. Regenerate the goldens after an intentional
+//! rule change with:
+//!
+//! ```text
+//! GOLDEN_WRITE=1 cargo test -p dlk-lint --test fixtures
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use dlk_lint::rules::lint_workspace;
+use dlk_lint::RuleCode;
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Compares `actual` against the committed golden, or rewrites the
+/// golden when `GOLDEN_WRITE` is set.
+fn golden_check(actual: &str, name: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name);
+    if std::env::var_os("GOLDEN_WRITE").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_default();
+    assert_eq!(actual, golden, "golden {name} is stale; rerun with GOLDEN_WRITE=1");
+}
+
+#[test]
+fn fixture_text_render_matches_golden() {
+    let report = lint_workspace(&fixtures_root()).expect("lint fixtures");
+    golden_check(&report.render_text(), "fixtures.txt");
+}
+
+#[test]
+fn fixture_json_report_matches_golden() {
+    let report = lint_workspace(&fixtures_root()).expect("lint fixtures");
+    golden_check(&report.to_pinned_document("fixtures").to_json(), "fixtures.json");
+}
+
+/// The two acceptance-criterion diagnostics, pinned by exact code and
+/// span: `Instant::now()` in `crates/engine` and a deleted
+/// `parse_attack` arm for an `AttackSpec` variant.
+#[test]
+fn acceptance_spans_are_pinned() {
+    let report = lint_workspace(&fixtures_root()).expect("lint fixtures");
+    let find = |file: &str, code: RuleCode| {
+        report
+            .diagnostics
+            .iter()
+            .find(|d| d.file == file && d.code == code)
+            .unwrap_or_else(|| panic!("no {code} in {file}:\n{}", report.render_text()))
+    };
+
+    let instant = find("crates/engine/src/shard.rs", RuleCode::Dlk003);
+    assert_eq!((instant.line, instant.col), (6, 28), "Instant::now() span");
+
+    let codec = find("crates/sim/src/spec.rs", RuleCode::Dlk004);
+    assert_eq!((codec.line, codec.col), (8, 5), "missing Gamma arm anchors at the variant");
+    assert!(codec.message.contains("AttackSpec::Gamma"), "message: {}", codec.message);
+    assert!(codec.message.contains("from_text"), "message: {}", codec.message);
+}
+
+#[test]
+fn fixture_corpus_has_no_warnings_and_known_error_count() {
+    let report = lint_workspace(&fixtures_root()).expect("lint fixtures");
+    assert_eq!(report.files_scanned, 6);
+    assert_eq!(report.warnings(), 0);
+    assert_eq!(report.errors(), 10, "\n{}", report.render_text());
+}
+
+fn lint_bin(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dlk-lint")).args(args).output().expect("spawn dlk-lint")
+}
+
+#[test]
+fn binary_denies_fixture_corpus() {
+    let root = fixtures_root();
+    let out = lint_bin(&[root.to_str().unwrap(), "--deny"]);
+    assert_eq!(out.status.code(), Some(1), "--deny over fixtures must fail");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for code in ["DLK001", "DLK002", "DLK003", "DLK004"] {
+        assert!(stdout.contains(code), "{code} missing from:\n{stdout}");
+    }
+}
+
+#[test]
+fn binary_passes_clean_subtree_and_report_roundtrips() {
+    // The cli fixture crate alone is clean: rooted there, the walker
+    // sees only `src/lib.rs`, which no rule's path table matches.
+    let clean = fixtures_root().join("crates/cli");
+    let dir = std::env::temp_dir().join(format!("dlk-lint-report-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let report = dir.join("lint-report.json");
+
+    let out = lint_bin(&[clean.to_str().unwrap(), "--deny", "--report", report.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let verify = lint_bin(&["--verify-report", report.to_str().unwrap()]);
+    assert_eq!(verify.status.code(), Some(0), "{}", String::from_utf8_lossy(&verify.stderr));
+    let stdout = String::from_utf8(verify.stdout).unwrap();
+    assert!(stdout.contains("0 errors"), "verify summary: {stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn binary_usage_error_exits_2() {
+    let out = lint_bin(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,8 @@
+//! Fixture: a crate outside every rule's path table. Nothing here may
+//! fire — `unwrap` is only policed on hot-path files, wall clocks only
+//! in deterministic crates, orderings only in obs.
+
+pub fn helper(v: Option<u64>) -> u64 {
+    let t = std::time::Instant::now();
+    v.unwrap() + t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,8 @@
+//! Fixture: `panic!` on the inference hot path (DLK001).
+
+pub fn gemm_tile(rows: usize, cols: usize) -> usize {
+    if rows == 0 || cols == 0 {
+        panic!("fixture: empty tile");
+    }
+    rows * cols
+}

@@ -1,0 +1,24 @@
+//! Fixture: determinism guard (DLK003) in `crates/engine`. Covers the
+//! acceptance criterion: adding `Instant::now()` to the engine crate
+//! must produce a DLK003 error with the right span.
+
+pub fn shard_elapsed() -> u64 {
+    let start = std::time::Instant::now();
+    std::thread::sleep(core::time::Duration::from_millis(1));
+    start.elapsed().as_nanos() as u64
+}
+
+pub fn entropy(seed: u64) -> u64 {
+    // Seeded construction is the legal pattern and must not fire:
+    let legal = StdRng::seed_from_u64(seed);
+    let illegal = thread_rng();
+    legal ^ illegal
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_timing_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,32 @@
+//! Fixture: hot-path panic-freedom (DLK001) on a hot-path file that is
+//! also inside a deterministic crate. Four findings, two non-findings
+//! (string literal, test region), one exact-code waiver, one
+//! wrong-code waiver that must NOT mask the diagnostic.
+
+/// Doc comments are invisible to the linter, even with code fences:
+/// ```
+/// queue.pop().unwrap();
+/// ```
+pub fn service(queue: &mut Vec<u64>) -> u64 {
+    // .unwrap() inside this comment is invisible too.
+    let msg = "error strings may say unwrap() freely";
+    let first = queue.pop().unwrap();
+    let second = queue.pop().expect("fixture");
+    if first == 0 {
+        panic!("fixture: empty queue");
+    }
+    // dlk-lint: allow(DLK001): fixture waiver, next line is exempt
+    let waived = queue.pop().unwrap();
+    let masked = queue.pop().unwrap(); // dlk-lint: allow(DLK003): wrong code
+    first + second + waived + masked + msg.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        Some(1u64).unwrap();
+        None::<u64>.expect("tests may panic");
+        panic!("tests may panic");
+    }
+}

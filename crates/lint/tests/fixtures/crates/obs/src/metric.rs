@@ -1,0 +1,14 @@
+//! Fixture: the obs layer is Relaxed-only (DLK002). One finding, one
+//! exact-code waiver, and `cmp::Ordering` variants that must not fire.
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed);
+    counter.fetch_add(1, Ordering::SeqCst);
+    // dlk-lint: allow(DLK002): snapshot handoff needs acquire pairing
+    counter.load(Ordering::Acquire)
+}
+
+pub fn winner(a: u64, b: u64) -> bool {
+    // cmp::Ordering, not atomic::Ordering — never a finding.
+    matches!(a.cmp(&b), Ordering::Greater | Ordering::Equal)
+}

@@ -1,0 +1,27 @@
+//! Fixture: codec exhaustiveness (DLK004). Covers the acceptance
+//! criterion: deleting a `parse_attack` arm for one `AttackSpec`
+//! variant must produce a DLK004 error anchored at that variant.
+
+pub enum AttackSpec {
+    Alpha { bit: usize },
+    Beta(u64),
+    Gamma,
+}
+
+pub fn write_attack(out: &mut String, attack: &AttackSpec) {
+    match attack {
+        AttackSpec::Alpha { bit } => out.push_str(&format!("alpha bit={bit}")),
+        AttackSpec::Beta(seed) => out.push_str(&format!("beta seed={seed}")),
+        AttackSpec::Gamma => out.push_str("gamma"),
+    }
+}
+
+pub fn parse_attack(kind: &str) -> Option<AttackSpec> {
+    // The `Gamma` arm has been deleted: DLK004 must anchor at the
+    // variant's declaration line above.
+    match kind {
+        "alpha" => Some(AttackSpec::Alpha { bit: 0 }),
+        "beta" => Some(AttackSpec::Beta(0)),
+        _ => None,
+    }
+}

@@ -1,0 +1,53 @@
+//! The meta-test: the real workspace must itself pass `dlk-lint`, and
+//! the DLK004 codec rule must actually be watching the real codec —
+//! deleting a `parse_attack` arm from the real `spec.rs` has to fire.
+
+use std::path::Path;
+
+use dlk_lint::lexer::lex;
+use dlk_lint::rules::{lint_lexed, lint_workspace};
+use dlk_lint::RuleCode;
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = lint_workspace(workspace_root()).expect("lint workspace");
+    assert_eq!(report.errors(), 0, "\n{}", report.render_text());
+    assert!(report.files_scanned > 100, "only {} files scanned", report.files_scanned);
+}
+
+/// Guards against the exhaustiveness rule silently losing sight of the
+/// real codec: lint the genuine `crates/sim/src/spec.rs` with one
+/// `parse_attack` arm surgically removed and demand a DLK004 anchored
+/// at the orphaned variant.
+#[test]
+fn deleting_a_real_codec_arm_fires_dlk004() {
+    let path = workspace_root().join("crates/sim/src/spec.rs");
+    let source = std::fs::read_to_string(&path).expect("read real spec.rs");
+    let arm = source
+        .lines()
+        .find(|line| line.trim_start().starts_with("\"hammer\" =>"))
+        .expect("spec.rs parse_attack has a hammer arm");
+    let mutated = source.replacen(arm, "", 1);
+    assert_ne!(mutated, source, "arm removal must change the source");
+
+    let clean = lint_lexed(&[("crates/sim/src/spec.rs".to_owned(), lex(&source))]);
+    assert_eq!(
+        clean.diagnostics.iter().filter(|d| d.code == RuleCode::Dlk004).count(),
+        0,
+        "pristine spec.rs must be codec-complete:\n{}",
+        clean.render_text()
+    );
+
+    let broken = lint_lexed(&[("crates/sim/src/spec.rs".to_owned(), lex(&mutated))]);
+    let hit = broken
+        .diagnostics
+        .iter()
+        .find(|d| d.code == RuleCode::Dlk004)
+        .unwrap_or_else(|| panic!("no DLK004 after arm removal:\n{}", broken.render_text()));
+    assert!(hit.message.contains("AttackSpec::Hammer"), "message: {}", hit.message);
+    assert!(hit.line > 0, "diagnostic must carry the variant's span");
+}

@@ -439,10 +439,14 @@ impl CompiledProgram {
         let all_canonical =
             words.iter().fold(true, |ok, &w| ok & Instruction::word_is_canonical(w));
         if !all_canonical {
-            let &bad = words
+            // Relocating the fault can't fail (the reduction saw one),
+            // but stay infallible anyway: a never-taken fallthrough to
+            // a generic fault beats an expect() on the service path.
+            let bad = words
                 .iter()
-                .find(|&&w| !Instruction::word_is_canonical(w))
-                .expect("a non-canonical word exists");
+                .copied()
+                .find(|&w| !Instruction::word_is_canonical(w))
+                .unwrap_or(words.first().copied().unwrap_or(0));
             return Err(Instruction::classify_fault(bad));
         }
         Ok(Self { ops: words.iter().map(|&w| PackedOp::from_word(w)).collect() })

@@ -598,6 +598,18 @@ impl ScenarioSpec {
     ///
     /// Returns [`SimError::SpecParse`] with the offending line.
     pub fn list_from_text(text: &str) -> Result<Vec<Self>, SimError> {
+        Ok(Self::list_from_text_with_lines(text)?.into_iter().map(|(_, spec)| spec).collect())
+    }
+
+    /// [`list_from_text`](ScenarioSpec::list_from_text), with each
+    /// spec paired to the 1-based whole-file line its chunk starts on.
+    /// Static analyzers (`dlk check`) use the offsets to report
+    /// per-spec findings with real file spans.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SpecParse`] with the offending line.
+    pub fn list_from_text_with_lines(text: &str) -> Result<Vec<(usize, Self)>, SimError> {
         let mut chunks: Vec<(usize, String)> = Vec::new(); // (0-based start line, body)
         let mut current = String::new();
         let mut start = 0usize;
@@ -628,7 +640,7 @@ impl ScenarioSpec {
                 // whole-file line numbers (the padding lines are blank
                 // and skipped by the parser).
                 let padded = "\n".repeat(start) + &body;
-                Self::from_text(&padded)
+                Self::from_text(&padded).map(|spec| (start + 1, spec))
             })
             .collect()
     }

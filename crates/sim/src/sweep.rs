@@ -41,6 +41,7 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+// dlk-lint: allow(DLK003): sweep telemetry measures real wall time
 use std::time::{Duration, Instant};
 
 use dlk_dnn::models::ModelKind;
@@ -385,6 +386,7 @@ impl SweepMetrics {
 
 /// Saturating nanoseconds since `since` (a sweep would have to idle for
 /// ~585 years to overflow, but the cast should still be total).
+// dlk-lint: allow(DLK003): worker busy/idle telemetry, not sim state
 fn elapsed_ns(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
@@ -508,12 +510,13 @@ impl SweepRunner {
         slots.resize_with(count, || None);
         let slots = Mutex::new(slots);
         let worker_loop = |worker: usize| {
+            // dlk-lint: allow(DLK003): idle/busy split is observability only
             let mut mark = Instant::now();
             while let Some((index, stolen)) = queue.pop(worker) {
                 if let Some(metrics) = &metrics {
                     metrics.worker_idle_ns.add(elapsed_ns(mark));
                     metrics.queue_depth.add(-1);
-                    mark = Instant::now();
+                    mark = Instant::now(); // dlk-lint: allow(DLK003): telemetry mark
                 }
                 let outcome = self.execute_one(index, labels[index].clone(), worker, stolen, &job);
                 let keep_going = self.progress.as_ref().is_none_or(|progress| progress(&outcome));
@@ -523,7 +526,7 @@ impl SweepRunner {
                         .job_wall_us
                         .record(u64::try_from(outcome.wall.as_micros()).unwrap_or(u64::MAX));
                     metrics.worker_busy_ns.add(elapsed_ns(mark));
-                    mark = Instant::now();
+                    mark = Instant::now(); // dlk-lint: allow(DLK003): telemetry mark
                 }
                 slots.lock().expect("sweep slots")[index] = Some(outcome);
                 if let Some(sampler) = &self.sampler {
@@ -572,6 +575,7 @@ impl SweepRunner {
         stolen: bool,
         job: &Arc<dyn Fn(usize) -> Result<RunReport, SimError> + Send + Sync>,
     ) -> JobOutcome {
+        // dlk-lint: allow(DLK003): job wall-clock is reported, never fed back
         let start = Instant::now();
         let report = match self.timeout {
             None => flatten(catch_unwind(AssertUnwindSafe(|| job(index)))),
